@@ -1,0 +1,36 @@
+"""Ablation: size-filter dictionary depth vs detection/false positives.
+
+Sweeps how many top strains feed the size dictionary.  The paper's choice
+(top 3) is the knee: depth 1-2 leaves detection on the table, deeper
+dictionaries add sizes without meaningful gains.
+"""
+
+from repro.core.filtering.evaluate import evaluate_filter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+
+
+def _sweep(store, depths):
+    results = []
+    for depth in depths:
+        size_filter = SizeBasedFilter.learn(store, top_n=depth)
+        report = evaluate_filter(size_filter, store)
+        results.append((depth, len(size_filter), report))
+    return results
+
+
+def test_ablation_filter_depth(benchmark, limewire):
+    depths = (1, 2, 3, 5, 8)
+    results = benchmark(_sweep, limewire.store, depths)
+    print()
+    print("depth  sizes  detection  false-positives")
+    for depth, size_count, report in results:
+        print(f"{depth:5d}  {size_count:5d}  {report.detection_rate:9.1%}"
+              f"  {report.false_positive_rate:15.2%}")
+    by_depth = {depth: report for depth, _, report in results}
+    assert by_depth[3].detection_rate >= 0.99
+    assert by_depth[3].detection_rate > by_depth[1].detection_rate
+    # going deeper than the paper's 3 buys (almost) nothing
+    assert (by_depth[8].detection_rate
+            - by_depth[3].detection_rate) < 0.01
+    assert all(report.false_positive_rate <= 0.01
+               for _, _, report in results)

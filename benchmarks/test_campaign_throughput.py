@@ -1,0 +1,23 @@
+"""Infrastructure: end-to-end campaign throughput.
+
+Times a small full campaign (world build + flooding + downloads + scans)
+so regressions in any layer surface as wall-clock changes here.
+"""
+
+from repro.core.measure import CampaignConfig, run_limewire_campaign
+from repro.peers.profiles import GnutellaProfile
+
+from .conftest import BENCH_SEED
+
+
+def test_campaign_throughput(benchmark):
+    config = CampaignConfig(seed=BENCH_SEED, duration_days=0.25)
+    profile = GnutellaProfile().scaled(0.5)
+
+    def run():
+        return run_limewire_campaign(config, profile=profile)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    events = result.sim.events_processed
+    print(f"\n{events} events, {len(result.store)} responses")
+    assert len(result.store) > 100

@@ -1,0 +1,22 @@
+"""Extension: user-facing impact of deploying the size filter.
+
+Turns T5 into the quantities an operator would quote: exposure
+reduction, collateral loss of clean results, and the residual risk of a
+random archive/exe download before vs after.
+"""
+
+from repro.core.filtering.deployment import simulate_deployment
+from repro.core.filtering.sizefilter import SizeBasedFilter
+
+
+def test_ext_deployment(benchmark, limewire):
+    size_filter = SizeBasedFilter.learn(limewire.store)
+    report = benchmark(simulate_deployment, size_filter, limewire.store)
+    print()
+    print(f"exposure reduction:   {report.exposure_reduction:.1%}")
+    print(f"collateral loss:      {report.collateral_loss:.2%}")
+    print(f"residual risk before: {report.residual_risk_before:.1%}")
+    print(f"residual risk after:  {report.residual_risk_after:.2%}")
+    assert report.exposure_reduction >= 0.99
+    assert report.collateral_loss <= 0.01
+    assert report.residual_risk_after < 0.05 < report.residual_risk_before

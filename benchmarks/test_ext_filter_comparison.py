@@ -1,0 +1,29 @@
+"""Extension: the full filter landscape on one campaign.
+
+Adds the oracle hash blocklist (perfect, instantly updated) to the T5
+comparison: the paper's four-integer size dictionary performs at the
+oracle's level, while the realistically stale blocklist sits at ~6%.
+"""
+
+from repro.core.filtering.evaluate import evaluate_filters
+from repro.core.filtering.existing import ExistingLimewireFilter
+from repro.core.filtering.oracle import OracleHashFilter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+from repro.core.reports import render_t5_filters
+from repro.malware.corpus import limewire_strains
+
+
+def test_ext_filter_comparison(benchmark, limewire):
+    store = limewire.store
+    filters = [
+        ExistingLimewireFilter.stale_blocklist(limewire_strains()),
+        SizeBasedFilter.learn(store),
+        OracleHashFilter.learn(store),
+    ]
+    reports = benchmark(evaluate_filters, filters, store)
+    print()
+    print(render_t5_filters(reports))
+    existing, size, oracle = reports
+    assert oracle.detection_rate == 1.0
+    assert size.detection_rate >= oracle.detection_rate - 0.01
+    assert existing.detection_rate < 0.15

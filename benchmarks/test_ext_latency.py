@@ -1,0 +1,15 @@
+"""Extension: response-latency percentiles of the measured overlay."""
+
+from repro.core.analysis.latency import latency_summary
+
+
+def test_ext_latency(benchmark, limewire, openft):
+    summary = benchmark(latency_summary, limewire.store)
+    print()
+    print(summary.render("limewire"))
+    ft_summary = latency_summary(openft.store)
+    if ft_summary is not None:
+        print(ft_summary.render("openft"))
+    assert summary is not None
+    assert summary.p10 <= summary.p50 <= summary.p90 <= summary.p99
+    assert summary.p50 < 5.0  # sub-seconds through a few overlay hops

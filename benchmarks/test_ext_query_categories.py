@@ -1,0 +1,24 @@
+"""Extension: malicious share per query category.
+
+Quantifies the mechanism behind T2 -- archive/executable responses to
+*media* queries are almost entirely echo-worm output, while software
+queries mix worms with genuine archives.
+"""
+
+from repro.core.analysis.categories import category_breakdown
+
+
+def test_ext_query_categories(benchmark, limewire):
+    rows = benchmark(category_breakdown, limewire.store,
+                     limewire.world.catalog)
+    print()
+    print("category    queries  responses  downloadable  malicious  share")
+    for row in rows:
+        print(f"{row.category:<10s}  {row.queries:7d}  {row.responses:9d}"
+              f"  {row.downloadable:12d}  {row.malicious:9d}"
+              f"  {row.malicious_share:5.1%}")
+    by_category = {row.category: row for row in rows}
+    assert by_category["audio"].malicious_share > 0.95
+    software_rows = [row for row in rows
+                     if row.category in ("archive", "executable")]
+    assert all(row.malicious_share < 0.9 for row in software_rows)

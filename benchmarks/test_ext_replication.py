@@ -1,0 +1,25 @@
+"""Extension: headline-metric stability across independent worlds.
+
+Runs the scaled campaign under multiple seeds and reports the mean and
+range of every headline metric -- the reproducibility evidence behind
+the ranges EXPERIMENTS.md quotes.
+"""
+
+from repro.core.experiments import run_replications
+from repro.core.measure import CampaignConfig
+from repro.peers.profiles import GnutellaProfile
+
+
+def test_ext_replication(benchmark):
+    def run():
+        return run_replications(
+            "limewire", seeds=(3, 4, 5),
+            config=CampaignConfig(seed=0, duration_days=0.25),
+            profile=GnutellaProfile().scaled(0.5))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.metrics["prevalence"].within(0.45, 0.90)
+    assert report.metrics["top3_share"].within(0.90, 1.0)
+    assert report.metrics["private_share"].within(0.10, 0.45)

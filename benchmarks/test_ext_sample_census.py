@@ -1,0 +1,25 @@
+"""Extension: the distinct-sample census behind the malicious responses.
+
+"Most infections are from a very small number of distinct malware" --
+the census makes that concrete: thousands of responses, about a dozen
+byte-identical bodies.
+"""
+
+from repro.core.analysis.census import new_hosts_per_day, sample_census
+
+
+def test_ext_sample_census(benchmark, limewire):
+    samples = benchmark(sample_census, limewire.store)
+    malicious = len(limewire.store.malicious_responses())
+    print()
+    print(f"{malicious} malicious responses, {len(samples)} distinct "
+          "samples")
+    print("responses  hosts  size (bytes)  malware")
+    for sample in samples[:8]:
+        print(f"{sample.responses:9d}  {sample.hosts:5d}  "
+              f"{sample.size:12d}  {sample.malware_name}")
+    assert malicious > 1000
+    assert len(samples) <= 20
+    assert samples[0].responses > malicious * 0.3
+    fresh = new_hosts_per_day(limewire.store)
+    assert sum(fresh) > 0

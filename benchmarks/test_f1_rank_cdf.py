@@ -1,0 +1,15 @@
+"""F1: regenerate the malicious-response CDF over malware ranks."""
+
+from repro.core.analysis.concentration import rank_cdf
+from repro.core.reports import render_f1_rank_cdf
+
+
+def test_f1_rank_cdf(benchmark, limewire, openft):
+    cdf = benchmark(rank_cdf, limewire.store)
+    print()
+    print(render_f1_rank_cdf(limewire.store))
+    print()
+    print(render_f1_rank_cdf(openft.store))
+    assert cdf == sorted(cdf)
+    assert cdf[-1] == 1.0
+    assert cdf[min(2, len(cdf) - 1)] >= 0.95  # steep head in Limewire

@@ -1,0 +1,13 @@
+"""F2: regenerate the size-diversity-per-strain figure."""
+
+from repro.core.analysis.sizes import distinct_size_counts
+from repro.core.reports import render_f2_size_distribution
+
+
+def test_f2_size_distribution(benchmark, limewire):
+    counts = benchmark(distinct_size_counts, limewire.store)
+    print()
+    print(render_f2_size_distribution(limewire.store))
+    # every observed strain manifests at a handful of exact sizes
+    assert counts
+    assert max(counts.values()) <= 4

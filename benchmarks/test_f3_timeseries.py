@@ -1,0 +1,14 @@
+"""F3: regenerate the daily malicious-share time series."""
+
+from repro.core.analysis.timeseries import daily_series
+from repro.core.reports import render_f3_timeseries
+
+
+def test_f3_timeseries(benchmark, limewire):
+    points = benchmark(daily_series, limewire.store)
+    print()
+    print(render_f3_timeseries(limewire.store))
+    assert points
+    meaningful = [point for point in points if point.downloadable > 50]
+    shares = [point.malicious_share for point in meaningful]
+    assert shares and max(shares) - min(shares) < 0.25  # stable share

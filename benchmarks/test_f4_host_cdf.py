@@ -1,0 +1,16 @@
+"""F4: regenerate the per-host malicious-response CDF."""
+
+from repro.core.analysis.concentration import top_malware
+from repro.core.analysis.sources import host_cdf
+from repro.core.reports import render_f4_host_cdf
+
+
+def test_f4_host_cdf(benchmark, limewire, openft):
+    cdf = benchmark(host_cdf, limewire.store)
+    top_ft_strain = top_malware(openft.store)[0].name
+    print()
+    print(render_f4_host_cdf(openft.store, top_ft_strain))
+    # Limewire: diffuse across many hosts; OpenFT top strain: one host
+    assert len(cdf) > 30
+    assert cdf[0] < 0.15
+    assert host_cdf(openft.store, top_ft_strain) == [1.0]

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the substrate: codecs, QRP, scanner, kernel.
+
+Not a paper table -- these guard the simulator's performance envelope so
+campaign-scale benchmarks stay tractable as the code evolves.
+"""
+
+from repro.files.payload import Blob
+from repro.gnutella.guid import new_guid
+from repro.gnutella.messages import (HitResult, Query, QueryHit,
+                                     decode_payload, frame, parse_frame)
+from repro.gnutella.qrp import QueryRouteTable, qrp_hash
+from repro.malware.corpus import limewire_strains
+from repro.malware.infection import strain_body_blob
+from repro.openft.packets import SearchResponse, decode_packet, encode_packet
+from repro.scanner.database import database_for_strains
+from repro.scanner.engine import ScanEngine
+from repro.simnet.kernel import Simulator
+from repro.simnet.rng import SeededStream
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.after(0.001, tick)
+
+        sim.after(0.001, tick)
+        sim.run_all()
+        return count[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_bench_gnutella_query_roundtrip(benchmark):
+    guid = new_guid(SeededStream(1, "g"))
+    query = Query(min_speed_kbps=0, criteria="photoshop crack full")
+
+    def roundtrip():
+        header, payload = parse_frame(frame(guid, query, ttl=4, hops=0))
+        return decode_payload(header, payload)
+
+    assert benchmark(roundtrip) == query
+
+
+def test_bench_gnutella_queryhit_roundtrip(benchmark):
+    guid = new_guid(SeededStream(1, "g"))
+    hit = QueryHit(
+        port=6346, address="10.2.3.4", speed_kbps=350,
+        results=tuple(HitResult(i, 1000 + i, f"result_{i}.exe",
+                                "urn:sha1:AAAABBBBCCCCDDDD")
+                      for i in range(20)),
+        servent_guid=guid)
+
+    def roundtrip():
+        header, payload = parse_frame(frame(guid, hit, ttl=3, hops=1))
+        return decode_payload(header, payload)
+
+    assert benchmark(roundtrip) == hit
+
+
+def test_bench_openft_search_response_roundtrip(benchmark):
+    response = SearchResponse(search_id=7, host="172.16.1.2", port=1215,
+                              http_port=1216, availability=2, size=12345,
+                              md5="ab" * 16, filename="windows_keygen.exe")
+    assert benchmark(
+        lambda: decode_packet(encode_packet(response))) == response
+
+
+def test_bench_qrp_hash(benchmark):
+    tokens = [f"keyword{i}" for i in range(100)]
+    benchmark(lambda: [qrp_hash(token) for token in tokens])
+
+
+def test_bench_qrp_table_match(benchmark):
+    table = QueryRouteTable()
+    table.build_from(f"file_{i}_name_{i % 7}.exe" for i in range(500))
+    benchmark(lambda: [table.might_match("file name") for _ in range(100)])
+
+
+def test_bench_scanner(benchmark):
+    strains = limewire_strains()
+    engine = ScanEngine(database_for_strains(strains))
+    blobs = [strain_body_blob(strain) for strain in strains]
+    blobs.append(Blob(content_key="clean", extension="exe", size=5000))
+
+    def scan_all():
+        return [engine.scan(blob).clean for blob in blobs]
+
+    results = benchmark(scan_all)
+    assert results[-1] is True
+    assert not any(results[:-1])

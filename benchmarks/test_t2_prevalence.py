@@ -1,0 +1,12 @@
+"""T2: regenerate the malware-prevalence table (paper: 68% LW / 3% FT)."""
+
+from repro.core.analysis.prevalence import compute_prevalence
+from repro.core.reports import render_t2_prevalence
+
+
+def test_t2_prevalence(benchmark, limewire, openft):
+    report = benchmark(compute_prevalence, limewire.store)
+    print()
+    print(render_t2_prevalence([limewire.store, openft.store]))
+    assert 0.55 <= report.fraction <= 0.80  # paper: 0.68
+    assert 0.01 <= compute_prevalence(openft.store).fraction <= 0.08

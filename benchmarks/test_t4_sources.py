@@ -1,0 +1,17 @@
+"""T4: regenerate the sources analysis (paper: 28% private; 67% single
+host for the top OpenFT virus)."""
+
+from repro.core.analysis.concentration import top_malware
+from repro.core.analysis.sources import (address_breakdown, top_host_share)
+from repro.core.reports import render_t4_sources
+
+
+def test_t4_sources(benchmark, limewire, openft):
+    breakdown = benchmark(address_breakdown, limewire.store)
+    top_ft_strain = top_malware(openft.store)[0].name
+    print()
+    print(render_t4_sources(limewire.store))
+    print()
+    print(render_t4_sources(openft.store, top_strain=top_ft_strain))
+    assert 0.18 <= breakdown.fraction("private") <= 0.36  # paper: 0.28
+    assert top_host_share(openft.store, top_ft_strain) == 1.0

@@ -1,0 +1,20 @@
+"""T5: regenerate the filter comparison (paper: ~6% vs >99%)."""
+
+from repro.core.filtering.evaluate import evaluate_filter, evaluate_filters
+from repro.core.filtering.existing import ExistingLimewireFilter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+from repro.core.reports import render_t5_filters
+from repro.malware.corpus import limewire_strains
+
+
+def test_t5_filtering(benchmark, limewire):
+    existing = ExistingLimewireFilter.stale_blocklist(limewire_strains())
+    size_filter = SizeBasedFilter.learn(limewire.store)
+    reports = benchmark(evaluate_filters, [existing, size_filter],
+                        limewire.store)
+    print()
+    print(render_t5_filters(reports))
+    existing_report, size_report = reports
+    assert 0.02 <= existing_report.detection_rate <= 0.12  # paper: ~6%
+    assert size_report.detection_rate >= 0.99               # paper: >99%
+    assert size_report.false_positive_rate <= 0.01

@@ -1,0 +1,15 @@
+"""T6: regenerate the per-strain size dictionary behind the size filter."""
+
+from repro.core.analysis.sizes import size_dictionary
+from repro.core.reports import render_t6_size_dictionary
+
+
+def test_t6_size_dictionary(benchmark, limewire):
+    profiles = benchmark(size_dictionary, limewire.store, 3, 0.95)
+    print()
+    print(render_t6_size_dictionary(limewire.store))
+    assert len(profiles) == 3
+    for profile in profiles:
+        # the strain occurs at very few exact sizes -- the paper's insight
+        assert profile.distinct_sizes <= 3
+        assert profile.coverage(profile.common_sizes) >= 0.95

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The full study: regenerate every table and figure for both networks.
+
+Runs one Limewire and one OpenFT campaign, saves the raw measurement
+stores as JSON-lines (so they can be re-analysed without re-simulating,
+like the paper's month of logs), and prints T1-T6 and F1-F4.
+
+Usage::
+
+    python examples/full_study.py [--days N] [--seed S] [--out DIR]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.core import CampaignConfig, run_limewire_campaign, \
+    run_openft_campaign
+from repro.core import reports
+from repro.core.analysis import top_malware
+from repro.core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
+                                  evaluate_filters)
+from repro.malware.corpus import limewire_strains
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=1.0,
+                        help="virtual days to measure (paper: 35)")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--out", type=Path, default=Path("study_output"),
+                        help="directory for raw measurement stores")
+    args = parser.parse_args()
+
+    config = CampaignConfig(seed=args.seed, duration_days=args.days)
+    print(f"collecting {args.days} virtual days per network "
+          f"(seed={args.seed})...")
+    limewire = run_limewire_campaign(config)
+    print(f"  limewire: {len(limewire.store)} responses")
+    openft = run_openft_campaign(config)
+    print(f"  openft:   {len(openft.store)} responses")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    limewire.store.save(args.out / "limewire.jsonl")
+    openft.store.save(args.out / "openft.jsonl")
+    print(f"raw stores saved under {args.out}/")
+
+    stores = [limewire.store, openft.store]
+    print()
+    print(reports.render_t1_summary(stores, args.days), end="\n\n")
+    print(reports.render_t2_prevalence(stores), end="\n\n")
+    print(reports.render_t3_top_malware(limewire.store), end="\n\n")
+    print(reports.render_t3_top_malware(openft.store), end="\n\n")
+
+    top_ft = top_malware(openft.store)[0].name
+    print(reports.render_t4_sources(limewire.store), end="\n\n")
+    print(reports.render_t4_sources(openft.store, top_strain=top_ft),
+          end="\n\n")
+
+    filters = [
+        ExistingLimewireFilter.stale_blocklist(limewire_strains()),
+        SizeBasedFilter.learn(limewire.store),
+    ]
+    print(reports.render_t5_filters(
+        evaluate_filters(filters, limewire.store)), end="\n\n")
+    print(reports.render_t6_size_dictionary(limewire.store), end="\n\n")
+
+    print(reports.render_f1_rank_cdf(limewire.store), end="\n\n")
+    print(reports.render_f2_size_distribution(limewire.store), end="\n\n")
+    print(reports.render_f3_timeseries(limewire.store), end="\n\n")
+    print(reports.render_f4_host_cdf(openft.store, top_ft))
+
+
+if __name__ == "__main__":
+    main()

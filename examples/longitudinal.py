@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Longitudinal view: a week of measurement, like the paper's month.
+
+Runs a 7-virtual-day Limewire campaign and reports the time dimension the
+short examples skip: the daily malicious share (stable), the arrival of
+previously-unseen malware-serving hosts (passive worms keep recruiting),
+and the sample census showing thousands of malicious responses collapsing
+onto a handful of byte-identical bodies.
+
+Usage::
+
+    python examples/longitudinal.py [--days N]   (default 7; ~1 min)
+"""
+
+import argparse
+
+from repro.core import CampaignConfig, run_limewire_campaign
+from repro.core.analysis import (daily_series, new_hosts_per_day,
+                                 sample_census)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=7.0)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    print(f"collecting {args.days:g} virtual days of Limewire data...")
+    result = run_limewire_campaign(
+        CampaignConfig(seed=args.seed, duration_days=args.days))
+    store = result.store
+    print(f"{len(store)} responses from "
+          f"{store.unique_hosts()} hosts\n")
+
+    print("day  responses  downloadable  malicious  share   new mal hosts")
+    fresh_hosts = new_hosts_per_day(store)
+    for point in daily_series(store):
+        fresh = fresh_hosts[point.day] if point.day < len(fresh_hosts) else 0
+        print(f"{point.day:3d}  {point.responses:9d}  "
+              f"{point.downloadable:12d}  {point.malicious:9d}  "
+              f"{point.malicious_share:6.1%}  {fresh:13d}")
+
+    samples = sample_census(store)
+    malicious_total = len(store.malicious_responses())
+    print(f"\n{malicious_total} malicious responses map onto "
+          f"{len(samples)} distinct samples:")
+    print("responses  hosts  size (bytes)  malware")
+    for sample in samples[:10]:
+        print(f"{sample.responses:9d}  {sample.hosts:5d}  "
+              f"{sample.size:12d}  {sample.malware_name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Protocol tour: drive the Gnutella and OpenFT stacks by hand.
+
+The reproduction's substrates are usable libraries in their own right.
+This example builds a tiny Gnutella overlay (2 ultrapeers, 3 leaves, one
+infected with a query-echo worm), shows the actual handshake and
+descriptor bytes, issues a query, and decodes the hits -- then does the
+OpenFT equivalent.
+
+Usage::
+
+    python examples/protocol_tour.py
+"""
+
+from repro.files.catalog import CatalogConfig, ContentCatalog
+from repro.files.library import SharedFile, SharedLibrary
+from repro.gnutella import (GnutellaNetwork, GnutellaServent, Query,
+                            TopologyConfig, connect_request, frame,
+                            new_guid)
+from repro.malware.corpus import limewire_strains
+from repro.malware.infection import HostInfection
+from repro.openft import (CLASS_SEARCH, CLASS_USER, OpenFTNetwork,
+                          OpenFTNode, SearchRequest, encode_packet)
+from repro.simnet import AddressAllocator, Simulator, Transport
+
+
+def gnutella_tour() -> None:
+    print("=" * 60)
+    print("Gnutella 0.6")
+    print("=" * 60)
+
+    sim = Simulator(seed=42)
+    transport = Transport(sim)
+    allocator = AddressAllocator(sim.stream("addr"))
+    catalog = ContentCatalog(CatalogConfig(works=50), sim.stream("cat"))
+    strains = limewire_strains()
+
+    # wire bytes, for the curious
+    offer = connect_request("LimeWire/4.12.3", ultrapeer=False,
+                            listen_ip="10.0.0.5", port=6346)
+    print("\nhandshake leg 1 on the wire:")
+    print(offer.encode().decode("ascii").replace("\r\n", "\\r\\n\n"))
+
+    ultrapeers = [GnutellaServent(sim, transport, f"up{i}",
+                                  allocator.allocate(), role="ultrapeer")
+                  for i in range(2)]
+    leaves = []
+    for index in range(3):
+        library = SharedLibrary()
+        for _ in range(5):
+            version = catalog.sample_version(sim.stream("pop"))
+            library.add(SharedFile.make(catalog.decorate_filename(version),
+                                        version.size, version.extension,
+                                        version.blob))
+        infection = None
+        if index == 0:  # one echo-infected host behind NAT
+            infection = HostInfection()
+            infection.infect(strains[0], library, sim.stream("mal"))
+        leaves.append(GnutellaServent(
+            sim, transport, f"leaf{index}",
+            allocator.allocate(behind_nat=index == 0),
+            role="leaf", library=library, infection=infection))
+
+    GnutellaNetwork.wire(ultrapeers, leaves, sim.stream("topo"),
+                         TopologyConfig(ultrapeer_degree=2,
+                                        leaf_attachments=2))
+    network = GnutellaNetwork(sim, transport, ultrapeers, leaves, strains)
+    crawler = network.create_crawler("crawler", allocator.allocate())
+
+    query = Query(min_speed_kbps=0, criteria="norton full")
+    raw = frame(new_guid(sim.stream("g")), query, ttl=4)
+    print(f"a Query descriptor is {len(raw)} bytes: "
+          f"header={raw[:23].hex()} payload={raw[23:].hex()}")
+
+    hits = []
+    crawler.on_local_hit = lambda hit, header: hits.append(hit)
+    crawler.originate_query("norton full")
+    sim.run_until(60.0)
+
+    print(f"\nquery 'norton full' -> {len(hits)} QueryHit descriptor(s):")
+    for hit in hits:
+        for result in hit.results:
+            marker = " (PRIVATE!)" if hit.address.startswith(
+                ("10.", "192.168.")) else ""
+            print(f"  {result.filename:<40s} {result.file_size:>10d} B "
+                  f"from {hit.address}{marker}")
+
+    if hits:
+        first = hits[0]
+        blob = network.fetch(first.servent_guid,
+                             first.results[0].sha1_urn)
+        print(f"\ndownloading the first hit -> "
+              f"{'got ' + str(blob.size) + ' bytes' if blob else 'failed'}")
+
+
+def openft_tour() -> None:
+    print()
+    print("=" * 60)
+    print("OpenFT")
+    print("=" * 60)
+
+    sim = Simulator(seed=43)
+    transport = Transport(sim)
+    allocator = AddressAllocator(sim.stream("addr"))
+    catalog = ContentCatalog(CatalogConfig(works=50), sim.stream("cat"))
+
+    search_node = OpenFTNode(sim, transport, "search0",
+                             allocator.allocate(),
+                             klass=CLASS_SEARCH | CLASS_USER)
+    users = []
+    for index in range(3):
+        library = SharedLibrary()
+        for _ in range(6):
+            version = catalog.sample_version(sim.stream("pop"))
+            library.add(SharedFile.make(catalog.decorate_filename(version),
+                                        version.size, version.extension,
+                                        version.blob))
+        users.append(OpenFTNode(sim, transport, f"user{index}",
+                                allocator.allocate(), klass=CLASS_USER,
+                                library=library))
+
+    network = OpenFTNetwork(sim, transport, [search_node], users)
+    network.wire(sim.stream("topo"), parents_per_user=1)
+    sim.run_until(120.0)
+
+    request = SearchRequest(search_id=1, ttl=1, query="free music")
+    print(f"\na SearchRequest packet: {encode_packet(request).hex()}")
+
+    crawler = network.create_crawler("crawler", allocator.allocate())
+    sim.run_until(sim.now + 30.0)
+    results = []
+    crawler.on_search_result = results.append
+    sample_share = next(iter(users[0].library))
+    query = " ".join(sorted(sample_share.tokens)[:2])
+    crawler.originate_search(query)
+    sim.run_until(sim.now + 60.0)
+
+    real = [r for r in results if not r.is_end_marker]
+    print(f"\nsearch {query!r} -> {len(real)} result(s):")
+    for response in real:
+        print(f"  {response.filename:<40s} {response.size:>10d} B "
+              f"md5={response.md5[:8]}... from {response.host}")
+
+
+if __name__ == "__main__":
+    gnutella_tour()
+    openft_tour()

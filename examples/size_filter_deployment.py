@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Deploying the size filter: learn on one trace, protect a future user.
+
+The paper's operational pitch is that a client could ship a tiny
+dictionary of known-bad sizes.  This example checks the pitch honestly:
+the dictionary is learned from one measurement campaign and then
+evaluated against a *different* campaign (new seed -- different churn,
+different infected hosts, different queries), i.e. out-of-sample, the way
+a deployed Limewire would experience it.
+
+Usage::
+
+    python examples/size_filter_deployment.py
+"""
+
+from repro.core import CampaignConfig, run_limewire_campaign
+from repro.core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
+                                  evaluate_filter)
+from repro.malware.corpus import limewire_strains
+
+
+def main() -> None:
+    print("phase 1: measurement campaign (the operator's vantage)...")
+    training = run_limewire_campaign(
+        CampaignConfig(seed=11, duration_days=0.5))
+    size_filter = SizeBasedFilter.learn(training.store, top_n=3)
+    print(f"  learned dictionary: {sorted(size_filter.blocked_sizes)}")
+
+    print("\nphase 2: an ordinary user's client, weeks later "
+          "(fresh world)...")
+    deployment = run_limewire_campaign(
+        CampaignConfig(seed=99, duration_days=0.5))
+
+    size_report = evaluate_filter(size_filter, deployment.store)
+    existing_report = evaluate_filter(
+        ExistingLimewireFilter.stale_blocklist(limewire_strains()),
+        deployment.store)
+
+    print(f"\n  responses the user would have seen: "
+          f"{size_report.malicious_total + size_report.clean_total}")
+    print(f"  of which malicious:                 "
+          f"{size_report.malicious_total}")
+    print("\n                       detection   false positives")
+    print(f"  existing mechanisms  {existing_report.detection_rate:9.1%}"
+          f"   {existing_report.false_positive_rate:15.2%}")
+    print(f"  size-based filter    {size_report.detection_rate:9.1%}"
+          f"   {size_report.false_positive_rate:15.2%}")
+
+    if size_report.detection_rate > 0.95:
+        print("\nout-of-sample detection holds: worm bodies do not change "
+              "size between campaigns, so the dictionary transfers.")
+    else:
+        print("\nout-of-sample detection degraded -- the dominant strains "
+              "changed between training and deployment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro: a reproduction of "A Study of Malware in Peer-to-Peer Networks"
+(Kalafut, Acharya, Gupta -- ACM IMC 2006).
+
+The live Gnutella and OpenFT networks the paper instrumented are gone, so
+this package rebuilds them: a discrete-event network substrate
+(:mod:`repro.simnet`), protocol-faithful Gnutella 0.6 and OpenFT overlays
+(:mod:`repro.gnutella`, :mod:`repro.openft`), a synthetic shared-content
+and malware ecosystem (:mod:`repro.files`, :mod:`repro.malware`,
+:mod:`repro.peers`), an AV-style scanner (:mod:`repro.scanner`), and --
+on top -- the paper's contribution (:mod:`repro.core`): instrumented
+measurement campaigns, the prevalence/concentration/source analyses, and
+the size-based filtering proposal.
+
+Quickstart::
+
+    from repro.core import CampaignConfig, run_limewire_campaign
+    from repro.core.analysis import compute_prevalence
+
+    result = run_limewire_campaign(CampaignConfig(seed=1, duration_days=1))
+    print(compute_prevalence(result.store).fraction)   # ~0.68
+"""
+
+from .core import (CampaignConfig, CampaignResult, ExistingLimewireFilter,
+                   MeasurementStore, ResponseRecord, SizeBasedFilter,
+                   compute_prevalence, evaluate_filter,
+                   run_limewire_campaign, run_openft_campaign,
+                   size_dictionary, top_malware, top_n_share)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "ExistingLimewireFilter",
+    "MeasurementStore", "ResponseRecord", "SizeBasedFilter",
+    "compute_prevalence", "evaluate_filter",
+    "run_limewire_campaign", "run_openft_campaign",
+    "size_dictionary", "top_malware", "top_n_share",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Three subcommands mirror the study's workflow::
+
+    repro-study run      --network both --days 1 --seed 2 --out data/
+    repro-study analyze  data/limewire.jsonl --table all
+    repro-study filter-eval data/limewire.jsonl
+
+``run`` simulates the campaigns and writes raw measurement stores as
+JSON-lines; ``analyze`` recomputes any table/figure from a saved store
+(no re-simulation); ``filter-eval`` compares the existing-Limewire
+baseline against the size-based filter on a saved store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import reports
+from .core.analysis import top_malware
+from .core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
+                             evaluate_filters)
+from .core.measure import (CampaignConfig, MeasurementStore,
+                           run_limewire_campaign, run_openft_campaign)
+from .malware.corpus import limewire_strains
+
+__all__ = ["main", "build_parser"]
+
+_TABLES = ("t1", "t2", "t3", "t4", "t5", "t6",
+           "f1", "f2", "f3", "f4", "x1", "x2", "x3", "x4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-study argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduce 'A study of malware in P2P networks' "
+                    "(IMC 2006)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="simulate measurement campaigns and save raw stores")
+    run.add_argument("--network", choices=("limewire", "openft", "both"),
+                     default="both")
+    run.add_argument("--days", type=float, default=1.0,
+                     help="virtual days to measure (paper: 35)")
+    run.add_argument("--seed", type=int, default=2)
+    run.add_argument("--out", type=Path, default=Path("study_output"))
+
+    analyze = subparsers.add_parser(
+        "analyze", help="recompute tables/figures from a saved store")
+    analyze.add_argument("store", type=Path,
+                         help="JSON-lines store written by 'run'")
+    analyze.add_argument("--table", choices=_TABLES + ("all",),
+                         default="all")
+    analyze.add_argument("--days", type=float, default=1.0,
+                         help="campaign length for T1 (informational)")
+
+    filter_eval = subparsers.add_parser(
+        "filter-eval",
+        help="compare existing vs size-based filtering on a saved store")
+    filter_eval.add_argument("store", type=Path)
+    filter_eval.add_argument("--top-n", type=int, default=3,
+                             help="strains feeding the size dictionary")
+    filter_eval.add_argument("--coverage", type=float, default=0.95,
+                             help="per-strain size coverage target")
+
+    export = subparsers.add_parser(
+        "export", help="write every table/figure of a saved store as CSV")
+    export.add_argument("store", type=Path)
+    export.add_argument("--out", type=Path, default=Path("csv_output"))
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = CampaignConfig(seed=args.seed, duration_days=args.days)
+    args.out.mkdir(parents=True, exist_ok=True)
+    campaigns = []
+    if args.network in ("limewire", "both"):
+        campaigns.append(("limewire", run_limewire_campaign))
+    if args.network in ("openft", "both"):
+        campaigns.append(("openft", run_openft_campaign))
+    for name, runner in campaigns:
+        print(f"running {name} campaign "
+              f"({args.days:g} virtual days, seed {args.seed})...")
+        result = runner(config)
+        path = args.out / f"{name}.jsonl"
+        count = result.store.save(path)
+        print(f"  {count} responses -> {path}")
+    return 0
+
+
+def _render(store: MeasurementStore, table: str, days: float) -> str:
+    if table == "t1":
+        return reports.render_t1_summary([store], days)
+    if table == "t2":
+        return reports.render_t2_prevalence([store])
+    if table == "t3":
+        return reports.render_t3_top_malware(store)
+    if table == "t4":
+        rows = top_malware(store)
+        top_strain = rows[0].name if rows else None
+        return reports.render_t4_sources(store, top_strain=top_strain)
+    if table == "t5":
+        filters = [
+            ExistingLimewireFilter.stale_blocklist(limewire_strains()),
+            SizeBasedFilter.learn(store),
+        ]
+        return reports.render_t5_filters(evaluate_filters(filters, store))
+    if table == "t6":
+        return reports.render_t6_size_dictionary(store)
+    if table == "f1":
+        return reports.render_f1_rank_cdf(store)
+    if table == "f2":
+        return reports.render_f2_size_distribution(store)
+    if table == "f3":
+        return reports.render_f3_timeseries(store)
+    if table == "f4":
+        rows = top_malware(store)
+        top_strain = rows[0].name if rows else None
+        return reports.render_f4_host_cdf(store, top_strain)
+    if table == "x1":
+        return reports.render_x1_sample_census(store)
+    if table == "x2":
+        return reports.render_x2_availability(store)
+    if table == "x3":
+        return reports.render_x3_vendors(store)
+    if table == "x4":
+        return reports.render_x4_deployment(store)
+    raise ValueError(f"unknown table {table!r}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if not args.store.exists():
+        print(f"error: store {args.store} does not exist", file=sys.stderr)
+        return 2
+    store = MeasurementStore.load(args.store)
+    tables = _TABLES if args.table == "all" else (args.table,)
+    for index, table in enumerate(tables):
+        if index:
+            print()
+        try:
+            print(_render(store, table, args.days))
+        except ValueError as error:
+            print(f"({table} unavailable: {error})")
+    return 0
+
+
+def _cmd_filter_eval(args: argparse.Namespace) -> int:
+    if not args.store.exists():
+        print(f"error: store {args.store} does not exist", file=sys.stderr)
+        return 2
+    store = MeasurementStore.load(args.store)
+    try:
+        size_filter = SizeBasedFilter.learn(store, top_n=args.top_n,
+                                            coverage=args.coverage)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    filters = [
+        ExistingLimewireFilter.stale_blocklist(limewire_strains()),
+        size_filter,
+    ]
+    print(reports.render_t5_filters(evaluate_filters(filters, store)))
+    print(f"\nsize dictionary ({len(size_filter)} entries): "
+          f"{sorted(size_filter.blocked_sizes)}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if not args.store.exists():
+        print(f"error: store {args.store} does not exist", file=sys.stderr)
+        return 2
+    from .core.export import export_all
+
+    store = MeasurementStore.load(args.store)
+    written = export_all(store, args.out)
+    for experiment_id, path in sorted(written.items()):
+        print(f"{experiment_id}: {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "analyze": _cmd_analyze,
+                "filter-eval": _cmd_filter_eval, "export": _cmd_export}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's contribution: measurement, analysis, filtering, reports.
+
+``measure`` runs instrumented campaigns against the simulated networks,
+``analysis`` computes every table/figure of the study from the collected
+records, ``filtering`` implements the existing-Limewire baseline and the
+proposed size-based filter, and ``reports`` renders everything as text.
+"""
+
+from . import analysis, filtering, measure, reports
+from .analysis import (compute_prevalence, daily_series, size_dictionary,
+                       summarize_collection, top_malware, top_n_share)
+from .filtering import (ExistingLimewireFilter, SizeBasedFilter,
+                        evaluate_filter, evaluate_filters)
+from .measure import (CampaignConfig, CampaignResult, MeasurementStore,
+                      ResponseRecord, run_limewire_campaign,
+                      run_openft_campaign)
+
+__all__ = [
+    "analysis", "filtering", "measure", "reports",
+    "compute_prevalence", "daily_series", "size_dictionary",
+    "summarize_collection", "top_malware", "top_n_share",
+    "ExistingLimewireFilter", "SizeBasedFilter", "evaluate_filter",
+    "evaluate_filters",
+    "CampaignConfig", "CampaignResult", "MeasurementStore",
+    "ResponseRecord", "run_limewire_campaign", "run_openft_campaign",
+]

@@ -1,0 +1,42 @@
+"""Analysis layer: the paper's tables and figures computed from a store."""
+
+from .availability import AvailabilityRow, availability_breakdown
+from .behaviours import BehaviourRow, behaviour_breakdown
+from .categories import CategoryRow, categorize_queries, category_breakdown
+from .census import MalwareSample, new_hosts_per_day, sample_census
+from .crossnet import CrossNetworkComparison, compare_networks
+from .latency import LatencySummary, latency_summary
+from .concentration import MalwareRankRow, rank_cdf, top_malware, top_n_share
+from .prevalence import PrevalenceReport, compute_prevalence
+from .sizes import StrainSizeProfile, distinct_size_counts, size_dictionary
+from .sources import (AddressBreakdown, HostShareRow, address_breakdown,
+                      host_cdf, host_concentration, top_host_share)
+from .overhead import (OverheadRow, classify_gnutella_frame,
+                       classify_openft_packet, overhead_report)
+from .summary import CollectionSummary, summarize_collection
+from .timeseries import DailyPoint, daily_series
+from .uncertainty import (ConfidenceInterval, bootstrap_ci,
+                          prevalence_statistic, private_share_statistic,
+                          top_share_statistic, wilson_interval)
+from .vendors import VendorRow, vendor_census
+
+__all__ = [
+    "AvailabilityRow", "availability_breakdown",
+    "BehaviourRow", "behaviour_breakdown",
+    "CategoryRow", "categorize_queries", "category_breakdown",
+    "MalwareSample", "new_hosts_per_day", "sample_census",
+    "CrossNetworkComparison", "compare_networks",
+    "LatencySummary", "latency_summary",
+    "MalwareRankRow", "rank_cdf", "top_malware", "top_n_share",
+    "PrevalenceReport", "compute_prevalence",
+    "StrainSizeProfile", "distinct_size_counts", "size_dictionary",
+    "AddressBreakdown", "HostShareRow", "address_breakdown", "host_cdf",
+    "host_concentration", "top_host_share",
+    "OverheadRow", "classify_gnutella_frame", "classify_openft_packet",
+    "overhead_report",
+    "CollectionSummary", "summarize_collection",
+    "DailyPoint", "daily_series",
+    "ConfidenceInterval", "bootstrap_ci", "prevalence_statistic",
+    "private_share_statistic", "top_share_statistic", "wilson_interval",
+    "VendorRow", "vendor_census",
+]

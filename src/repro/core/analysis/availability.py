@@ -1,0 +1,56 @@
+"""Extension analysis: why responses fail to be downloadable.
+
+The paper's denominator is "downloadable responses"; this analysis
+decomposes the gap between responses and downloads by responder class:
+NATed responders need a live PUSH route, any responder may have churned
+offline by download time or be busy.  It quantifies how much of the
+response stream a measurement (or a user) actually gets to verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..measure.store import MeasurementStore
+
+__all__ = ["AvailabilityRow", "availability_breakdown"]
+
+
+@dataclass(frozen=True)
+class AvailabilityRow:
+    """Download success for one responder class."""
+
+    responder_class: str   # "natted" | "public"
+    responses: int
+    attempted: int
+    downloaded: int
+
+    @property
+    def success_rate(self) -> float:
+        """Downloads per attempted response."""
+        return self.downloaded / self.attempted if self.attempted else 0.0
+
+
+def availability_breakdown(store: MeasurementStore) -> List[AvailabilityRow]:
+    """Download success split by NATed vs public responders.
+
+    Classification uses the wire-visible push flag (Gnutella QueryHits
+    mark firewalled responders) falling back to the advertised-address
+    class for OpenFT records.
+    """
+    from ...simnet.addresses import classify_address
+
+    buckets = {"natted": [0, 0, 0], "public": [0, 0, 0]}
+    for record in store:
+        natted = record.push_needed or (
+            classify_address(record.responder_host) == "private")
+        bucket = buckets["natted" if natted else "public"]
+        bucket[0] += 1
+        if record.download_attempted:
+            bucket[1] += 1
+        if record.downloaded:
+            bucket[2] += 1
+    return [AvailabilityRow(responder_class=name, responses=counts[0],
+                            attempted=counts[1], downloaded=counts[2])
+            for name, counts in buckets.items()]

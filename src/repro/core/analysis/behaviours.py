@@ -1,0 +1,56 @@
+"""Extension analysis: malicious responses by strain behaviour class.
+
+The corpus distinguishes query-echo worms, shared-folder infectors and
+trojan droppers; this analysis attributes each malicious response to its
+strain's behaviour, quantifying the paper's implicit claim that the
+Limewire epidemic is an *echo* phenomenon while OpenFT's is a
+shared-folder one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ...malware.strain import Behaviour, MalwareStrain
+from ..measure.store import MeasurementStore
+
+__all__ = ["BehaviourRow", "behaviour_breakdown"]
+
+
+@dataclass(frozen=True)
+class BehaviourRow:
+    """One behaviour class's slice of malicious responses."""
+
+    behaviour: str
+    strains: int
+    responses: int
+    share: float
+
+
+def behaviour_breakdown(store: MeasurementStore,
+                        strains: Sequence[MalwareStrain],
+                        ) -> List[BehaviourRow]:
+    """Attribute malicious responses to behaviour classes.
+
+    Responses whose detection name matches no strain in ``strains`` are
+    bucketed as ``"unknown"`` (e.g. a store scanned with a different
+    corpus).
+    """
+    by_name: Dict[str, Behaviour] = {strain.av_name: strain.behaviour
+                                     for strain in strains}
+    response_counts: Counter = Counter()
+    strain_sets: Dict[str, set] = {}
+    for record in store.malicious_responses():
+        behaviour = by_name.get(record.malware_name)
+        key = behaviour.value if behaviour is not None else "unknown"
+        response_counts[key] += 1
+        strain_sets.setdefault(key, set()).add(record.malware_name)
+    total = sum(response_counts.values())
+    rows = [BehaviourRow(behaviour=key,
+                         strains=len(strain_sets[key]),
+                         responses=count,
+                         share=count / total if total else 0.0)
+            for key, count in response_counts.most_common()]
+    return rows

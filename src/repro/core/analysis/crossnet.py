@@ -1,0 +1,78 @@
+"""Extension analysis: comparing the two measured networks.
+
+The paper measured Limewire and OpenFT with the same pipeline; this
+module puts the two stores side by side -- which strains circulate in
+both ecosystems, and how each network's headline numbers compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..measure.store import MeasurementStore
+from .concentration import top_malware, top_n_share
+from .prevalence import compute_prevalence
+
+__all__ = ["CrossNetworkComparison", "compare_networks"]
+
+
+@dataclass(frozen=True)
+class CrossNetworkComparison:
+    """The two networks' strain sets and headline metrics."""
+
+    network_a: str
+    network_b: str
+    strains_a: FrozenSet[str]
+    strains_b: FrozenSet[str]
+    prevalence_a: float
+    prevalence_b: float
+    top3_a: float
+    top3_b: float
+
+    @property
+    def shared_strains(self) -> FrozenSet[str]:
+        """Malware names observed in both networks."""
+        return self.strains_a & self.strains_b
+
+    @property
+    def exclusive_a(self) -> FrozenSet[str]:
+        """Strains seen only in network A."""
+        return self.strains_a - self.strains_b
+
+    @property
+    def exclusive_b(self) -> FrozenSet[str]:
+        """Strains seen only in network B."""
+        return self.strains_b - self.strains_a
+
+    def render(self) -> str:
+        """Text comparison table."""
+        lines = [
+            f"cross-network comparison: {self.network_a} vs "
+            f"{self.network_b}",
+            f"  prevalence: {self.prevalence_a:.1%} vs "
+            f"{self.prevalence_b:.1%}",
+            f"  top-3 concentration: {self.top3_a:.1%} vs "
+            f"{self.top3_b:.1%}",
+            f"  strains: {len(self.strains_a)} vs {len(self.strains_b)}, "
+            f"{len(self.shared_strains)} shared",
+        ]
+        if self.shared_strains:
+            lines.append("  shared: " + ", ".join(
+                sorted(self.shared_strains)))
+        return "\n".join(lines)
+
+
+def compare_networks(store_a: MeasurementStore,
+                     store_b: MeasurementStore) -> CrossNetworkComparison:
+    """Build the side-by-side comparison of two campaigns."""
+    return CrossNetworkComparison(
+        network_a=store_a.network,
+        network_b=store_b.network,
+        strains_a=frozenset(row.name for row in top_malware(store_a)),
+        strains_b=frozenset(row.name for row in top_malware(store_b)),
+        prevalence_a=compute_prevalence(store_a).fraction,
+        prevalence_b=compute_prevalence(store_b).fraction,
+        top3_a=top_n_share(store_a, 3),
+        top3_b=top_n_share(store_b, 3),
+    )

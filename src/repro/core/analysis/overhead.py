@@ -1,0 +1,80 @@
+"""Extension analysis: protocol overhead of the measurement.
+
+The instrumented clients ride the same overlay as everyone else; this
+analysis captures a window of overlay traffic and reports its
+composition -- how much of the byte volume is queries vs hits vs
+control traffic -- using the trace tap in :mod:`repro.simnet.trace` and
+frame classifiers for both protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...gnutella.constants import (DESCRIPTOR_PING, DESCRIPTOR_PONG,
+                                   DESCRIPTOR_PUSH, DESCRIPTOR_QUERY,
+                                   DESCRIPTOR_QUERY_HIT, HEADER_LENGTH)
+from ...simnet.trace import TransportTrace
+
+__all__ = ["classify_gnutella_frame", "classify_openft_packet",
+           "OverheadRow", "overhead_report"]
+
+_GNUTELLA_KINDS = {
+    DESCRIPTOR_PING: "ping",
+    DESCRIPTOR_PONG: "pong",
+    DESCRIPTOR_QUERY: "query",
+    DESCRIPTOR_QUERY_HIT: "query-hit",
+    DESCRIPTOR_PUSH: "push",
+    0x30: "qrp",
+}
+
+
+def classify_gnutella_frame(payload: bytes) -> str:
+    """Name a Gnutella descriptor from its header byte."""
+    if len(payload) < HEADER_LENGTH:
+        return "short"
+    return _GNUTELLA_KINDS.get(payload[16], "other")
+
+
+_OPENFT_KINDS = {
+    0x0000: "version", 0x0001: "version",
+    0x0002: "nodeinfo", 0x0003: "nodeinfo",
+    0x0008: "child", 0x0009: "child",
+    0x000A: "share-sync", 0x000B: "share-sync", 0x000C: "share-sync",
+    0x000D: "stats", 0x000E: "stats",
+    0x0010: "search", 0x0011: "search-result",
+    0x0012: "browse", 0x0013: "browse",
+    0x0014: "push",
+}
+
+
+def classify_openft_packet(payload: bytes) -> str:
+    """Name an OpenFT packet from its command field."""
+    if len(payload) < 4:
+        return "short"
+    command = int.from_bytes(payload[2:4], "big")
+    return _OPENFT_KINDS.get(command, "other")
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One traffic class's slice of the captured window."""
+
+    kind: str
+    messages: int
+    bytes: int
+    byte_share: float
+
+
+def overhead_report(trace: TransportTrace) -> List[OverheadRow]:
+    """Summarize a capture into per-kind rows, largest byte share first."""
+    counts = trace.counts_by_kind()
+    byte_totals = trace.bytes_by_kind()
+    total = trace.total_bytes() or 1
+    rows = [OverheadRow(kind=kind, messages=counts[kind],
+                        bytes=byte_totals[kind],
+                        byte_share=byte_totals[kind] / total)
+            for kind in counts]
+    rows.sort(key=lambda row: -row.bytes)
+    return rows

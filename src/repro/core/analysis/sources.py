@@ -1,0 +1,107 @@
+"""T4/F4: where malicious responses come from.
+
+Two findings: 28% of malicious Limewire responses carried *private*
+self-reported addresses (NATed responders advertising their RFC 1918
+face), and the top OpenFT strain was served essentially by one host.  We
+classify the advertised addresses exactly as the paper would have, and
+compute per-host response concentration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...simnet.addresses import classify_address
+from ..measure.records import ResponseRecord
+from ..measure.store import MeasurementStore
+
+__all__ = ["AddressBreakdown", "address_breakdown", "HostShareRow",
+           "host_concentration", "top_host_share", "host_cdf"]
+
+
+@dataclass(frozen=True)
+class AddressBreakdown:
+    """Malicious responses bucketed by advertised-address class."""
+
+    network: str
+    counts: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """All malicious responses classified."""
+        return sum(self.counts.values())
+
+    def fraction(self, address_class: str) -> float:
+        """Share of one class (e.g. ``"private"`` -> the 28%)."""
+        return (self.counts.get(address_class, 0) / self.total
+                if self.total else 0.0)
+
+
+def address_breakdown(store: MeasurementStore) -> AddressBreakdown:
+    """Compute the address-class split of malicious responses (T4a)."""
+    counts = Counter(classify_address(record.responder_host)
+                     for record in store.malicious_responses())
+    return AddressBreakdown(network=store.network, counts=dict(counts))
+
+
+@dataclass(frozen=True)
+class HostShareRow:
+    """One serving host's share of (a strain's) malicious responses."""
+
+    rank: int
+    responder_key: str
+    responder_host: str
+    responses: int
+    share: float
+
+
+def _malicious(store: MeasurementStore,
+               malware_name: Optional[str]) -> List[ResponseRecord]:
+    records = store.malicious_responses()
+    if malware_name is not None:
+        records = [record for record in records
+                   if record.malware_name == malware_name]
+    return records
+
+
+def host_concentration(store: MeasurementStore,
+                       malware_name: Optional[str] = None,
+                       ) -> List[HostShareRow]:
+    """Ranked hosts by how many malicious responses they served (T4b).
+
+    With ``malware_name`` the ranking is restricted to one strain -- used
+    for "the top virus ... is served by a single host".
+    """
+    records = _malicious(store, malware_name)
+    counts = Counter(record.responder_key for record in records)
+    hosts = {record.responder_key: record.responder_host
+             for record in records}
+    total = sum(counts.values())
+    rows: List[HostShareRow] = []
+    for rank, (key, responses) in enumerate(counts.most_common(), start=1):
+        rows.append(HostShareRow(
+            rank=rank, responder_key=key, responder_host=hosts[key],
+            responses=responses,
+            share=responses / total if total else 0.0))
+    return rows
+
+
+def top_host_share(store: MeasurementStore,
+                   malware_name: Optional[str] = None) -> float:
+    """The single busiest host's share of malicious responses."""
+    rows = host_concentration(store, malware_name)
+    return rows[0].share if rows else 0.0
+
+
+def host_cdf(store: MeasurementStore,
+             malware_name: Optional[str] = None) -> List[float]:
+    """F4: cumulative share at each host rank."""
+    rows = host_concentration(store, malware_name)
+    cdf: List[float] = []
+    cumulative = 0.0
+    for row in rows:
+        cumulative += row.share
+        cdf.append(cumulative)
+    return cdf

@@ -1,0 +1,49 @@
+"""F3: the campaign's daily time series.
+
+The paper collected over a month of data; the per-day series shows the
+malicious share is a stable property of the network (with a gentle rise
+as passive worms recruit hosts), not an artifact of a lucky day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..measure.store import MeasurementStore
+
+__all__ = ["DailyPoint", "daily_series"]
+
+
+@dataclass(frozen=True)
+class DailyPoint:
+    """One virtual day's aggregate."""
+
+    day: int
+    responses: int
+    downloadable: int
+    malicious: int
+
+    @property
+    def malicious_share(self) -> float:
+        """Malicious fraction of that day's downloadable responses."""
+        return self.malicious / self.downloadable if self.downloadable else 0.0
+
+
+def daily_series(store: MeasurementStore) -> List[DailyPoint]:
+    """Compute F3 (one point per virtual day, gaps filled with zeros)."""
+    by_day = store.by_day()
+    if not by_day:
+        return []
+    points: List[DailyPoint] = []
+    for day in range(max(by_day) + 1):
+        records = by_day.get(day, [])
+        downloadable = [record for record in records
+                        if record.counts_as_downloadable_type
+                        and record.downloaded]
+        malicious = [record for record in downloadable
+                     if record.is_malicious]
+        points.append(DailyPoint(day=day, responses=len(records),
+                                 downloadable=len(downloadable),
+                                 malicious=len(malicious)))
+    return points

@@ -1,0 +1,50 @@
+"""Extension analysis: the client census behind responses.
+
+Gnutella QueryHits carry a 4-byte vendor code in the QHD; the
+instrumented client records it, so the measurement doubles as a servent
+census.  The interesting negative result: infection is *not* a property
+of a client brand -- malicious-response vendor shares track the overall
+population shares, because worms ride whatever client the infected user
+runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List
+
+from ..measure.store import MeasurementStore
+
+__all__ = ["VendorRow", "vendor_census"]
+
+
+@dataclass(frozen=True)
+class VendorRow:
+    """One vendor's slice of the measurement."""
+
+    vendor: str
+    responses: int
+    response_share: float
+    malicious: int
+    malicious_share: float
+
+
+def vendor_census(store: MeasurementStore) -> List[VendorRow]:
+    """Responses and malicious responses per vendor code."""
+    total = Counter(record.vendor or "????" for record in store)
+    malicious = Counter(record.vendor or "????"
+                        for record in store.malicious_responses())
+    all_responses = sum(total.values())
+    all_malicious = sum(malicious.values())
+    rows = [
+        VendorRow(
+            vendor=vendor,
+            responses=count,
+            response_share=count / all_responses if all_responses else 0.0,
+            malicious=malicious.get(vendor, 0),
+            malicious_share=(malicious.get(vendor, 0) / all_malicious
+                             if all_malicious else 0.0))
+        for vendor, count in total.most_common()
+    ]
+    return rows

@@ -1,0 +1,105 @@
+"""Multi-seed experiment runner: reproducibility across worlds.
+
+One campaign is one random world; the reproduction's claims should hold
+across worlds.  :func:`run_replications` runs the same configuration
+under several seeds, collects every headline metric per seed, and
+aggregates mean / min / max -- the numbers EXPERIMENTS.md quotes as
+"seed-dependent" ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from .analysis.concentration import top_n_share
+from .analysis.prevalence import compute_prevalence
+from .analysis.sources import address_breakdown
+from .measure.campaign import (CampaignConfig, CampaignResult,
+                               run_limewire_campaign, run_openft_campaign)
+
+__all__ = ["MetricSummary", "ReplicationReport", "HEADLINE_METRICS",
+           "run_replications"]
+
+MetricFn = Callable[[CampaignResult], float]
+
+#: The headline metrics, by network.
+HEADLINE_METRICS: Dict[str, Dict[str, MetricFn]] = {
+    "limewire": {
+        "prevalence": lambda result: compute_prevalence(
+            result.store).fraction,
+        "top3_share": lambda result: top_n_share(result.store, 3),
+        "private_share": lambda result: address_breakdown(
+            result.store).fraction("private"),
+    },
+    "openft": {
+        "prevalence": lambda result: compute_prevalence(
+            result.store).fraction,
+        "top3_share": lambda result: top_n_share(result.store, 3),
+    },
+}
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """One metric across replications."""
+
+    name: str
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        """Average across seeds."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def low(self) -> float:
+        """Worst-case low across seeds."""
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def high(self) -> float:
+        """Worst-case high across seeds."""
+        return max(self.values) if self.values else 0.0
+
+    def within(self, low: float, high: float) -> bool:
+        """True when every replication landed inside [low, high]."""
+        return all(low <= value <= high for value in self.values)
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """All metrics for one network across seeds."""
+
+    network: str
+    seeds: tuple
+    metrics: Dict[str, MetricSummary]
+
+    def render(self) -> str:
+        """Text table of the replication results."""
+        lines = [f"replications ({self.network}, seeds {list(self.seeds)})",
+                 f"{'metric':<15s} {'mean':>7s} {'min':>7s} {'max':>7s}"]
+        for name, summary in self.metrics.items():
+            lines.append(f"{name:<15s} {summary.mean:7.1%} "
+                         f"{summary.low:7.1%} {summary.high:7.1%}")
+        return "\n".join(lines)
+
+
+def run_replications(network: str, seeds: Sequence[int],
+                     config: CampaignConfig,
+                     profile=None) -> ReplicationReport:
+    """Run one campaign per seed and summarize the headline metrics."""
+    if network not in HEADLINE_METRICS:
+        raise ValueError(f"unknown network {network!r}")
+    runner = (run_limewire_campaign if network == "limewire"
+              else run_openft_campaign)
+    metric_fns = HEADLINE_METRICS[network]
+    per_metric: Dict[str, List[float]] = {name: [] for name in metric_fns}
+    for seed in seeds:
+        result = runner(replace(config, seed=seed), profile=profile)
+        for name, metric in metric_fns.items():
+            per_metric[name].append(metric(result))
+    return ReplicationReport(
+        network=network, seeds=tuple(seeds),
+        metrics={name: MetricSummary(name=name, values=tuple(values))
+                 for name, values in per_metric.items()})

@@ -1,0 +1,140 @@
+"""CSV export of every table and figure.
+
+The text renderers in :mod:`repro.core.reports` are for terminals; these
+writers emit the same data as CSV so plots can be made with any tool.
+One file per experiment id, written into a directory.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.concentration import rank_cdf, top_malware
+from .analysis.prevalence import compute_prevalence
+from .analysis.sizes import distinct_size_counts, size_dictionary
+from .analysis.sources import address_breakdown, host_concentration
+from .analysis.summary import summarize_collection
+from .analysis.timeseries import daily_series
+from .measure.store import MeasurementStore
+
+__all__ = ["export_all", "EXPORTERS"]
+
+
+def _write(path: Path, header: Sequence[str],
+           rows: Sequence[Sequence]) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_t1(store: MeasurementStore, path: Path,
+              duration_days: float = 1.0) -> None:
+    """T1 as a single-row CSV."""
+    summary = summarize_collection(store, duration_days)
+    _write(path,
+           ["network", "days", "queries", "responses", "arc_exe",
+            "downloaded", "malicious", "hosts", "contents"],
+           [[summary.network, summary.duration_days,
+             summary.queries_issued, summary.responses,
+             summary.downloadable_type_responses,
+             summary.downloaded_responses, summary.malicious_responses,
+             summary.unique_hosts, summary.unique_contents]])
+
+
+def export_t2(store: MeasurementStore, path: Path) -> None:
+    """T2 overall + per-type rows."""
+    report = compute_prevalence(store)
+    rows: List[List] = [[store.network, "all", report.downloadable,
+                         report.malicious, report.fraction]]
+    for type_name, (downloadable, malicious) in sorted(
+            report.by_type.items()):
+        fraction = malicious / downloadable if downloadable else 0.0
+        rows.append([store.network, type_name, downloadable, malicious,
+                     fraction])
+    _write(path, ["network", "type", "downloadable", "malicious",
+                  "prevalence"], rows)
+
+
+def export_t3(store: MeasurementStore, path: Path) -> None:
+    """T3 ranked strains."""
+    _write(path, ["rank", "malware", "responses", "share", "cumulative"],
+           [[row.rank, row.name, row.responses, row.share,
+             row.cumulative_share] for row in top_malware(store)])
+
+
+def export_t4(store: MeasurementStore, path: Path) -> None:
+    """T4 address classes + top hosts."""
+    breakdown = address_breakdown(store)
+    rows: List[List] = [["address_class", klass, count,
+                         breakdown.fraction(klass)]
+                        for klass, count in sorted(breakdown.counts.items())]
+    for host_row in host_concentration(store)[:20]:
+        rows.append(["host", host_row.responder_host, host_row.responses,
+                     host_row.share])
+    _write(path, ["kind", "key", "responses", "share"], rows)
+
+
+def export_t6(store: MeasurementStore, path: Path, top_n: int = 3) -> None:
+    """T6 size dictionary (one row per strain x size)."""
+    rows = []
+    for profile in size_dictionary(store, top_n=top_n):
+        for size, count in profile.size_counts:
+            rows.append([profile.name, size, count,
+                         size in profile.common_sizes])
+    _write(path, ["malware", "size_bytes", "responses", "in_dictionary"],
+           rows)
+
+
+def export_f1(store: MeasurementStore, path: Path) -> None:
+    """F1 rank CDF points."""
+    _write(path, ["rank", "cumulative_share"],
+           [[index + 1, value]
+            for index, value in enumerate(rank_cdf(store))])
+
+
+def export_f2(store: MeasurementStore, path: Path) -> None:
+    """F2 distinct sizes per strain."""
+    _write(path, ["malware", "distinct_sizes"],
+           sorted(distinct_size_counts(store).items()))
+
+
+def export_f3(store: MeasurementStore, path: Path) -> None:
+    """F3 daily series."""
+    _write(path, ["day", "responses", "downloadable", "malicious", "share"],
+           [[point.day, point.responses, point.downloadable,
+             point.malicious, point.malicious_share]
+            for point in daily_series(store)])
+
+
+def export_f4(store: MeasurementStore, path: Path,
+              malware_name: Optional[str] = None) -> None:
+    """F4 host concentration points."""
+    _write(path, ["rank", "host", "responses", "share"],
+           [[row.rank, row.responder_host, row.responses, row.share]
+            for row in host_concentration(store, malware_name)])
+
+
+EXPORTERS = {
+    "t1": export_t1, "t2": export_t2, "t3": export_t3, "t4": export_t4,
+    "t6": export_t6, "f1": export_f1, "f2": export_f2, "f3": export_f3,
+    "f4": export_f4,
+}
+
+
+def export_all(store: MeasurementStore, directory: Path) -> Dict[str, Path]:
+    """Write every exportable experiment to ``directory``.
+
+    Returns a map of experiment id to the written path.  (T5 is not here:
+    filter evaluation needs a filter choice; use the CLI's filter-eval.)
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    for experiment_id, exporter in EXPORTERS.items():
+        path = directory / f"{store.network}_{experiment_id}.csv"
+        exporter(store, path)
+        written[experiment_id] = path
+    return written

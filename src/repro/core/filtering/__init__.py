@@ -1,0 +1,18 @@
+"""Filtering layer: the existing-Limewire baseline and the size filter."""
+
+from .base import FilterReport, ResponseFilter
+from .deployment import DeploymentReport, simulate_deployment
+from .evaluate import evaluate_filter, evaluate_filters
+from .existing import ExistingLimewireFilter
+from .learning import LearningPoint, learning_curve
+from .oracle import OracleHashFilter
+from .sizefilter import SizeBasedFilter
+
+__all__ = [
+    "FilterReport", "ResponseFilter",
+    "DeploymentReport", "simulate_deployment",
+    "evaluate_filter", "evaluate_filters",
+    "ExistingLimewireFilter", "SizeBasedFilter",
+    "LearningPoint", "learning_curve",
+    "OracleHashFilter",
+]

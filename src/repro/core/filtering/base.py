@@ -1,0 +1,52 @@
+"""Filter interface and evaluation report types.
+
+A response filter decides, from wire-visible fields only (name, size,
+hash, responder), whether a query response should be hidden from the
+user.  Both the baseline (Limewire's existing mechanisms) and the paper's
+proposed size-based filter implement this interface, so the T5 comparison
+is apples to apples.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..measure.records import ResponseRecord
+
+__all__ = ["ResponseFilter", "FilterReport"]
+
+
+class ResponseFilter(abc.ABC):
+    """Decides whether to block one response."""
+
+    #: Human-readable name used in the T5 table.
+    name: str = "filter"
+
+    @abc.abstractmethod
+    def blocks(self, record: ResponseRecord) -> bool:
+        """True when the filter would hide this response from the user."""
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Outcome of evaluating one filter against one store."""
+
+    filter_name: str
+    network: str
+    malicious_total: int
+    malicious_blocked: int
+    clean_total: int
+    clean_blocked: int
+
+    @property
+    def detection_rate(self) -> float:
+        """Blocked share of malicious responses (the 6% vs >99%)."""
+        return (self.malicious_blocked / self.malicious_total
+                if self.malicious_total else 0.0)
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Blocked share of clean downloadable responses."""
+        return (self.clean_blocked / self.clean_total
+                if self.clean_total else 0.0)

@@ -1,0 +1,83 @@
+"""Extension: what deploying a filter would mean for users.
+
+The paper proposes size-based filtering as a client/ultrapeer mechanism.
+This module turns a filter evaluation into the user-facing quantities an
+operator would quote:
+
+* **exposure**: of the malicious responses a user's searches produced,
+  how many still reach their result list with the filter on;
+* **collateral**: how many clean results the filter hides;
+* **residual risk**: the probability that a user who downloads a random
+  surviving archive/exe result gets malware -- before vs after.
+
+Everything is computed from a measured store, so the numbers correspond
+to the exact traffic mix of a campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..measure.store import MeasurementStore
+from .base import ResponseFilter
+
+__all__ = ["DeploymentReport", "simulate_deployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """User-facing impact of deploying one filter."""
+
+    filter_name: str
+    network: str
+    malicious_before: int
+    malicious_after: int
+    clean_before: int
+    clean_after: int
+
+    @property
+    def exposure_reduction(self) -> float:
+        """Fraction of malicious results removed from what users see."""
+        if not self.malicious_before:
+            return 0.0
+        return 1.0 - self.malicious_after / self.malicious_before
+
+    @property
+    def collateral_loss(self) -> float:
+        """Fraction of clean results wrongly hidden."""
+        if not self.clean_before:
+            return 0.0
+        return 1.0 - self.clean_after / self.clean_before
+
+    @property
+    def residual_risk_before(self) -> float:
+        """P(random surviving result is malicious) without the filter."""
+        total = self.malicious_before + self.clean_before
+        return self.malicious_before / total if total else 0.0
+
+    @property
+    def residual_risk_after(self) -> float:
+        """P(random surviving result is malicious) with the filter."""
+        total = self.malicious_after + self.clean_after
+        return self.malicious_after / total if total else 0.0
+
+
+def simulate_deployment(response_filter: ResponseFilter,
+                        store: MeasurementStore) -> DeploymentReport:
+    """Replay a store's downloadable responses through a filter."""
+    malicious_before = malicious_after = 0
+    clean_before = clean_after = 0
+    for record in store.downloadable_responses():
+        blocked = response_filter.blocks(record)
+        if record.is_malicious:
+            malicious_before += 1
+            if not blocked:
+                malicious_after += 1
+        else:
+            clean_before += 1
+            if not blocked:
+                clean_after += 1
+    return DeploymentReport(
+        filter_name=response_filter.name, network=store.network,
+        malicious_before=malicious_before, malicious_after=malicious_after,
+        clean_before=clean_before, clean_after=clean_after)

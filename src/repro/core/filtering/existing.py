@@ -1,0 +1,70 @@
+"""The baseline: Limewire's existing response-filtering mechanisms.
+
+2006 Limewire shipped (a) a keyword junk filter the user could populate,
+and (b) a blocklist of known-bad content hashes.  Both lag reality: the
+hash list knows yesterday's malware -- older/tail strains and superseded
+variants -- while the query-echo worms dominating the network mutate name
+and (occasionally) body faster than the list updates.  The paper measured
+these mechanisms catching only ~6% of malware-containing responses.
+
+``ExistingLimewireFilter.stale_blocklist`` models that lag explicitly:
+the blocklist covers every strain except the *primary variant* of the
+top ``unknown_top_variants`` strains (the currently-circulating bodies
+the list has not caught up with).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from ...files.names import tokenize
+from ...malware.infection import dropper_archive_blob, strain_body_blob
+from ...malware.strain import Behaviour, MalwareStrain
+from ..measure.records import ResponseRecord
+from .base import ResponseFilter
+
+__all__ = ["ExistingLimewireFilter"]
+
+#: Keywords Limewire's default junk filter shipped with (vbs/scr mailers).
+_DEFAULT_JUNK_KEYWORDS = frozenset({"vbs", "gnutella", "mandragore"})
+
+
+class ExistingLimewireFilter(ResponseFilter):
+    """Hash blocklist + keyword junk filter, as deployed in 2006."""
+
+    name = "existing-limewire"
+
+    def __init__(self, blocked_content_ids: Iterable[str],
+                 junk_keywords: Iterable[str] = _DEFAULT_JUNK_KEYWORDS,
+                 ) -> None:
+        self._blocked: Set[str] = set(blocked_content_ids)
+        self._junk = frozenset(keyword.lower() for keyword in junk_keywords)
+
+    def blocks(self, record: ResponseRecord) -> bool:
+        if record.content_id in self._blocked:
+            return True
+        return bool(self._junk & tokenize(record.filename))
+
+    @classmethod
+    def stale_blocklist(cls, strains: Sequence[MalwareStrain],
+                        unknown_top_variants: int = 3,
+                        ) -> "ExistingLimewireFilter":
+        """Build the filter with a realistically outdated hash list.
+
+        The list covers the bodies (and dropper wrappers) of every strain
+        *except* the primary variant of the first ``unknown_top_variants``
+        strains -- the bodies currently flooding the network that the list
+        has not been updated for.
+        """
+        blocked: Set[str] = set()
+        for index, strain in enumerate(strains):
+            for variant_index in range(len(strain.sizes)):
+                if index < unknown_top_variants and variant_index == 0:
+                    continue  # the in-the-wild body the list lags behind
+                blocked.add(strain_body_blob(strain, variant_index).sha1_urn())
+                blocked.add(strain_body_blob(strain, variant_index).md5_hex())
+                if strain.behaviour is Behaviour.TROJAN_DROPPER:
+                    archive = dropper_archive_blob(strain, variant_index)
+                    blocked.add(archive.sha1_urn())
+                    blocked.add(archive.md5_hex())
+        return cls(blocked_content_ids=blocked)

@@ -1,0 +1,62 @@
+"""How fast the size filter learns: the data-efficiency curve.
+
+Operationally the question is "how much scanning does an operator need
+before the dictionary works?".  :func:`learning_curve` trains the size
+filter on growing prefixes of the campaign (by virtual day) and
+evaluates each dictionary on the *remaining* days -- a proper
+train/test split in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..measure.store import MeasurementStore
+from .base import FilterReport
+from .evaluate import evaluate_filter
+from .sizefilter import SizeBasedFilter
+
+__all__ = ["LearningPoint", "learning_curve"]
+
+
+@dataclass(frozen=True)
+class LearningPoint:
+    """One train-prefix evaluation."""
+
+    train_days: int
+    train_malicious: int
+    dictionary_size: int
+    report: FilterReport
+
+
+def _store_subset(store: MeasurementStore, predicate) -> MeasurementStore:
+    subset = MeasurementStore(store.network)
+    subset.extend(record for record in store if predicate(record))
+    return subset
+
+
+def learning_curve(store: MeasurementStore, top_n: int = 3,
+                   coverage: float = 0.95) -> List[LearningPoint]:
+    """Train on days [0, d), test on days [d, end) for every d >= 1."""
+    by_day = store.by_day()
+    if not by_day:
+        return []
+    last_day = max(by_day)
+    points: List[LearningPoint] = []
+    for split in range(1, last_day + 1):
+        train = _store_subset(store, lambda r, s=split: r.day < s)
+        test = _store_subset(store, lambda r, s=split: r.day >= s)
+        if not test.downloadable_responses():
+            continue
+        try:
+            size_filter = SizeBasedFilter.learn(train, top_n=top_n,
+                                                coverage=coverage)
+        except ValueError:
+            continue  # not enough malicious training data yet
+        points.append(LearningPoint(
+            train_days=split,
+            train_malicious=len(train.malicious_responses()),
+            dictionary_size=len(size_filter),
+            report=evaluate_filter(size_filter, test)))
+    return points

@@ -1,0 +1,40 @@
+"""Oracle hash blocklist: the upper bound for hash-based filtering.
+
+The existing-Limewire baseline fails because its hash list lags the
+malware; this filter is the same mechanism with a *perfect, instantly
+updated* list -- every malicious content identity ever scanned in the
+campaign.  It bounds what any hash-blocklist pipeline could achieve, and
+the T5 extension comparison shows the size filter matches it while
+needing four integers instead of a content-hash feed.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..measure.records import ResponseRecord
+from ..measure.store import MeasurementStore
+from .base import ResponseFilter
+
+__all__ = ["OracleHashFilter"]
+
+
+class OracleHashFilter(ResponseFilter):
+    """Blocks every content identity that ever scanned malicious."""
+
+    name = "oracle-hash"
+
+    def __init__(self, blocked_content_ids: FrozenSet[str]) -> None:
+        self.blocked_content_ids = frozenset(blocked_content_ids)
+
+    def blocks(self, record: ResponseRecord) -> bool:
+        return record.content_id in self.blocked_content_ids
+
+    @classmethod
+    def learn(cls, store: MeasurementStore) -> "OracleHashFilter":
+        """Collect every malicious content id the campaign scanned."""
+        return cls(frozenset(record.content_id
+                             for record in store.malicious_responses()))
+
+    def __len__(self) -> int:
+        return len(self.blocked_content_ids)

@@ -1,0 +1,18 @@
+"""Measurement layer: instrumented clients, downloads, stores, campaigns."""
+
+from .campaign import (CampaignConfig, CampaignResult, run_limewire_campaign,
+                       run_openft_campaign)
+from .collector import LimewireCollector, OpenFTCollector
+from .download import Downloader, DownloadPolicy
+from .queries import EVERGREEN_QUERIES, QueryWorkload
+from .records import ResponseRecord
+from .store import MeasurementStore
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "run_limewire_campaign",
+    "run_openft_campaign",
+    "LimewireCollector", "OpenFTCollector",
+    "Downloader", "DownloadPolicy",
+    "EVERGREEN_QUERIES", "QueryWorkload",
+    "ResponseRecord", "MeasurementStore",
+]

@@ -1,0 +1,149 @@
+"""Campaign drivers: run the whole measurement end to end.
+
+``run_limewire_campaign`` / ``run_openft_campaign`` reproduce the paper's
+data collection: build the world, attach the instrumented client, issue
+the query workload on a fixed cadence for the configured number of
+virtual days, download and scan every response, and return the filled
+:class:`MeasurementStore` (plus the built world for ground-truth tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ...malware.corpus import limewire_strains, openft_strains
+from ...peers.population import (BuiltWorld, build_gnutella_world,
+                                 build_openft_world)
+from ...peers.profiles import GnutellaProfile, OpenFTProfile
+from ...scanner.database import database_for_strains
+from ...scanner.engine import ScanEngine
+from ...simnet.clock import days
+from ...simnet.kernel import Simulator
+from .collector import LimewireCollector, OpenFTCollector
+from .download import Downloader, DownloadPolicy
+from .queries import QueryWorkload
+from .store import MeasurementStore
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_limewire_campaign",
+           "run_openft_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs shared by both campaigns.
+
+    Defaults run a scaled 3-virtual-day campaign in seconds of wall time;
+    the paper's "over a month" corresponds to ``duration_days=35`` with a
+    denser population (see ``profile.scaled``).
+    """
+
+    seed: int = 1
+    duration_days: float = 3.0
+    query_interval_s: float = 600.0
+    popular_works: int = 40
+    download_policy: DownloadPolicy = field(default_factory=DownloadPolicy)
+    #: fraction of the strain corpus the ground-truth scanner knows; 1.0
+    #: reproduces the paper, lower values are for ablations
+    scanner_coverage: float = 1.0
+    #: virtual seconds granted after the horizon so in-flight downloads
+    #: and retries complete
+    drain_s: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.query_interval_s <= 0:
+            raise ValueError("query_interval_s must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: the data plus the world it ran against."""
+
+    store: MeasurementStore
+    world: BuiltWorld
+    config: CampaignConfig
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator the campaign ran on."""
+        return self.world.sim
+
+
+def _run(config: CampaignConfig, world: BuiltWorld, collector,
+         workload: QueryWorkload) -> None:
+    sim = world.sim
+    horizon = days(config.duration_days)
+    sim.every(config.query_interval_s,
+              lambda: collector.issue_query(workload.next_query()),
+              label="query", jitter=sim.stream("campaign:jitter"),
+              until=horizon)
+    sim.run_until(horizon + config.drain_s)
+
+
+def run_limewire_campaign(config: Optional[CampaignConfig] = None,
+                          profile: Optional[GnutellaProfile] = None,
+                          ) -> CampaignResult:
+    """Reproduce the Limewire side of the measurement."""
+    config = config or CampaignConfig()
+    profile = profile or GnutellaProfile()
+    strains = limewire_strains()
+
+    sim = Simulator(seed=config.seed)
+    horizon = days(config.duration_days)
+    world = build_gnutella_world(sim, profile, strains, horizon)
+
+    crawler = world.network.bootstrap_crawler("crawler",
+                                              _crawler_address(world))
+    store = MeasurementStore("limewire")
+    engine = ScanEngine(database_for_strains(strains,
+                                             config.scanner_coverage))
+    downloader = Downloader(sim, engine, config.download_policy)
+    collector = LimewireCollector(sim, world.network, crawler, store,
+                                  downloader)
+    workload = QueryWorkload.from_catalog(
+        world.catalog, sim.stream("campaign:workload"),
+        popular_works=config.popular_works)
+
+    _run(config, world, collector, workload)
+    return CampaignResult(store=store, world=world, config=config)
+
+
+def run_openft_campaign(config: Optional[CampaignConfig] = None,
+                        profile: Optional[OpenFTProfile] = None,
+                        ) -> CampaignResult:
+    """Reproduce the OpenFT side of the measurement."""
+    config = config or CampaignConfig()
+    profile = profile or OpenFTProfile()
+    strains = openft_strains()
+
+    sim = Simulator(seed=config.seed)
+    horizon = days(config.duration_days)
+    world = build_openft_world(sim, profile, strains, horizon)
+    # let child adoptions and initial share syncs settle before measuring
+    sim.run_until(300.0)
+
+    crawler = world.network.bootstrap_crawler("crawler",
+                                              _crawler_address(world))
+    sim.run_until(sim.now + 60.0)  # node-list discovery + adoption
+    store = MeasurementStore("openft")
+    engine = ScanEngine(database_for_strains(strains,
+                                             config.scanner_coverage))
+    downloader = Downloader(sim, engine, config.download_policy)
+    collector = OpenFTCollector(sim, world.network, crawler, store,
+                                downloader)
+    workload = QueryWorkload.from_catalog(
+        world.catalog, sim.stream("campaign:workload"),
+        popular_works=config.popular_works)
+
+    _run(config, world, collector, workload)
+    return CampaignResult(store=store, world=world, config=config)
+
+
+def _crawler_address(world: BuiltWorld):
+    """A public address for the measurement host (it was well-connected)."""
+    from ...simnet.addresses import AddressAllocator
+
+    allocator = AddressAllocator(world.sim.stream("crawler:addr"))
+    return allocator.allocate_public()

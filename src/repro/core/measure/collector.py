@@ -1,0 +1,141 @@
+"""Collectors: turn protocol responses into measurement records.
+
+One collector per network wraps the instrumented client's result callback,
+builds :class:`ResponseRecord` rows from the *decoded wire data only*, and
+hands each record to the downloader together with a fetch closure bound to
+that responder (the only place ground-truth object references are allowed
+to flow, because a real client would likewise open a connection to the
+address in the response).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...gnutella.guid import guid_hex
+from ...gnutella.messages import Header, QueryHit
+from ...gnutella.network import GnutellaNetwork
+from ...gnutella.servent import GnutellaServent
+from ...openft.network import OpenFTNetwork
+from ...openft.nodes import OpenFTNode
+from ...openft.packets import SearchResponse
+from ...simnet.kernel import Simulator
+from .download import Downloader
+from .records import ResponseRecord
+from .store import MeasurementStore
+
+__all__ = ["LimewireCollector", "OpenFTCollector"]
+
+
+class LimewireCollector:
+    """Instrumentation harness around a Gnutella crawler leaf."""
+
+    def __init__(self, sim: Simulator, network: GnutellaNetwork,
+                 crawler: GnutellaServent, store: MeasurementStore,
+                 downloader: Downloader) -> None:
+        self.sim = sim
+        self.network = network
+        self.crawler = crawler
+        self.store = store
+        self.downloader = downloader
+        self._query_by_guid: Dict[str, str] = {}
+        self._issue_time_by_guid: Dict[str, float] = {}
+        crawler.on_local_hit = self._on_hit
+
+    def issue_query(self, criteria: str) -> None:
+        """Send one query and remember its GUID for hit correlation."""
+        guid = self.crawler.originate_query(criteria)
+        self._query_by_guid[guid_hex(guid)] = criteria
+        self._issue_time_by_guid[guid_hex(guid)] = self.sim.now
+        self.store.note_query()
+
+    def _on_hit(self, hit: QueryHit, header: Header) -> None:
+        query = self._query_by_guid.get(guid_hex(header.guid))
+        if query is None:
+            return  # hit for a query we did not issue (should not happen)
+        for result in hit.results:
+            record = ResponseRecord(
+                network="limewire",
+                time=self.sim.now,
+                query=query,
+                responder_host=hit.address,
+                responder_port=hit.port,
+                responder_key=guid_hex(hit.servent_guid),
+                filename=result.filename,
+                size=result.file_size,
+                content_id=result.sha1_urn,
+                push_needed=hit.push_needed,
+                busy=hit.busy,
+                vendor=hit.vendor.decode("ascii", errors="replace"),
+                query_time=self._issue_time_by_guid.get(
+                    guid_hex(header.guid), -1.0),
+            )
+            self.store.add(record)
+            servent_guid = hit.servent_guid
+            sha1_urn = result.sha1_urn
+            crawler_id = self.crawler.endpoint_id
+            self.downloader.enqueue(
+                record,
+                lambda guid=servent_guid, urn=sha1_urn:
+                self.network.fetch(guid, urn, requester_id=crawler_id))
+
+
+class OpenFTCollector:
+    """Instrumentation harness around a giFT/OpenFT crawler node."""
+
+    def __init__(self, sim: Simulator, network: OpenFTNetwork,
+                 crawler: OpenFTNode, store: MeasurementStore,
+                 downloader: Downloader) -> None:
+        self.sim = sim
+        self.network = network
+        self.crawler = crawler
+        self.store = store
+        self.downloader = downloader
+        self._query_by_search_id: Dict[int, str] = {}
+        self._issue_time_by_search_id: Dict[int, float] = {}
+        #: (search_id, host, md5, name) tuples already recorded -- the OpenFT
+        #: mesh can deliver the same result via several parents
+        self._seen: set = set()
+        crawler.on_search_result = self._on_result
+
+    def issue_query(self, query: str) -> None:
+        """Send one search and remember its id for result correlation."""
+        search_id = self.crawler.originate_search(query)
+        self._query_by_search_id[search_id] = query
+        self._issue_time_by_search_id[search_id] = self.sim.now
+        self.store.note_query()
+
+    def _on_result(self, response: SearchResponse) -> None:
+        if response.is_end_marker:
+            return
+        query = self._query_by_search_id.get(response.search_id)
+        if query is None:
+            return
+        dedup_key = (response.search_id, response.host, response.md5,
+                     response.filename)
+        if dedup_key in self._seen:
+            return
+        self._seen.add(dedup_key)
+        record = ResponseRecord(
+            network="openft",
+            time=self.sim.now,
+            query=query,
+            responder_host=response.host,
+            responder_port=response.port,
+            responder_key=f"{response.host}:{response.port}",
+            filename=response.filename,
+            size=response.size,
+            content_id=response.md5,
+            push_needed=False,
+            busy=response.availability == 0,
+            vendor="GIFT",
+            query_time=self._issue_time_by_search_id.get(
+                response.search_id, -1.0),
+        )
+        self.store.add(record)
+        host, md5 = response.host, response.md5
+        crawler_id = self.crawler.endpoint_id
+        self.downloader.enqueue(
+            record,
+            lambda host=host, md5=md5:
+            self.network.fetch(host, md5, requester_id=crawler_id))

@@ -1,0 +1,25 @@
+"""Shared-content ecosystem: works, versions, payloads and libraries.
+
+Substitutes for the real user population's shared folders: a Zipf-popular
+catalog of works (:mod:`catalog`), sparse synthetic payloads with stable
+SHA-1 identities (:mod:`payload`), realistic naming (:mod:`names`) and
+per-peer searchable libraries (:mod:`library`).
+"""
+
+from .catalog import CatalogConfig, ContentCatalog, FileVersion, Work
+from .library import SharedFile, SharedLibrary
+from .names import NameGenerator, normalize, tokenize
+from .payload import Blob, sha1_urn_for
+from .types import (FileType, SIZE_MODELS, TYPE_EXTENSIONS, draw_size,
+                    extension_for, is_downloadable_type, type_for_extension)
+from .zipf import ZipfSampler
+
+__all__ = [
+    "CatalogConfig", "ContentCatalog", "FileVersion", "Work",
+    "SharedFile", "SharedLibrary",
+    "NameGenerator", "normalize", "tokenize",
+    "Blob", "sha1_urn_for",
+    "FileType", "SIZE_MODELS", "TYPE_EXTENSIONS", "draw_size",
+    "extension_for", "is_downloadable_type", "type_for_extension",
+    "ZipfSampler",
+]

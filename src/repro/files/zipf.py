@@ -1,0 +1,50 @@
+"""Bulk Zipf sampling over catalog ranks.
+
+Content popularity in file-sharing networks is classically Zipf-like (with
+the fetch-at-most-once flattening noted by Gummadi et al.); we use a plain
+truncated Zipf for the *sharing* distribution, which is what shapes how
+many replicas of each work exist and therefore how many responses a query
+gets.  numpy is used so populating thousands of libraries stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simnet.rng import SeededStream
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Inverse-CDF sampler for a truncated Zipf(alpha) law over n ranks."""
+
+    def __init__(self, n: int, alpha: float) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one rank, got {n!r}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha!r}")
+        self.n = n
+        self.alpha = alpha
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def probability(self, rank: int) -> float:
+        """P(rank); ranks are 1-based."""
+        if not 1 <= rank <= self.n:
+            raise ValueError(f"rank {rank!r} out of range 1..{self.n}")
+        previous = self._cdf[rank - 2] if rank > 1 else 0.0
+        return float(self._cdf[rank - 1] - previous)
+
+    def sample(self, stream: SeededStream, k: int) -> list:
+        """Draw ``k`` 1-based ranks (with replacement)."""
+        if k < 0:
+            raise ValueError(f"negative sample count {k!r}")
+        draws = np.array([stream.random() for _ in range(k)])
+        ranks = np.searchsorted(self._cdf, draws, side="left") + 1
+        return [int(rank) for rank in ranks]
+
+    def sample_one(self, stream: SeededStream) -> int:
+        """Draw a single 1-based rank."""
+        return self.sample(stream, 1)[0]

@@ -1,0 +1,34 @@
+"""Gnutella 0.6 protocol implementation over the simulated network.
+
+Binary descriptor codec (:mod:`messages`), GUIDs (:mod:`guid`), query
+routing (:mod:`qrp`), the 0.6 handshake (:mod:`handshake`), servent
+behaviour (:mod:`servent`), topology construction (:mod:`topology`) and
+the overlay facade (:mod:`network`).  Substitutes for the live network an
+instrumented Limewire measured in 2006.
+"""
+
+from .constants import (DEFAULT_PORT, DEFAULT_TTL, MAX_RESULTS_PER_HIT,
+                        MAX_TTL)
+from .guid import guid_hex, is_modern_guid, new_guid
+from .handshake import (HandshakeError, HandshakeMessage, accept_response,
+                        connect_request, final_ack, negotiate_roles,
+                        reject_response)
+from .messages import (Header, HitResult, MessageError, Ping, Pong, Push,
+                       Query, QueryHit, decode_payload, frame, parse_frame)
+from .network import GnutellaNetwork
+from .qrp import QueryRouteTable, QrpPatch, QrpReset, qrp_hash
+from .servent import GnutellaServent, ServentStats
+from .topology import TopologyConfig, attach_leaf, build_topology, link_peers
+
+__all__ = [
+    "DEFAULT_PORT", "DEFAULT_TTL", "MAX_RESULTS_PER_HIT", "MAX_TTL",
+    "guid_hex", "is_modern_guid", "new_guid",
+    "HandshakeError", "HandshakeMessage", "accept_response",
+    "connect_request", "final_ack", "negotiate_roles", "reject_response",
+    "Header", "HitResult", "MessageError", "Ping", "Pong", "Push", "Query",
+    "QueryHit", "decode_payload", "frame", "parse_frame",
+    "GnutellaNetwork",
+    "QueryRouteTable", "QrpPatch", "QrpReset", "qrp_hash",
+    "GnutellaServent", "ServentStats",
+    "TopologyConfig", "attach_leaf", "build_topology", "link_peers",
+]

@@ -1,0 +1,49 @@
+"""Gnutella 0.6 protocol constants.
+
+Values follow the Gnutella protocol specification v0.6 (RFC-draft by
+Klingberg & Manfredi) and the de-facto conventions of 2006 servents
+(Limewire 4.x): 23-byte descriptor header, descriptor type codes, default
+TTLs and the dynamic-query limits ultrapeers applied.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HEADER_LENGTH", "DESCRIPTOR_PING", "DESCRIPTOR_PONG",
+    "DESCRIPTOR_BYE", "DESCRIPTOR_PUSH",
+    "DESCRIPTOR_QUERY", "DESCRIPTOR_QUERY_HIT", "DESCRIPTOR_QRP",
+    "DEFAULT_TTL", "MAX_TTL", "MAX_PAYLOAD_LENGTH", "DEFAULT_PORT",
+    "MAX_RESULTS_PER_HIT", "QHD_VENDOR_LIMEWIRE", "QHD_VENDOR_GIFT",
+    "SPEED_MODEM_KBPS", "SPEED_CABLE_KBPS", "SPEED_T1_KBPS",
+]
+
+#: Descriptor header: GUID(16) + type(1) + TTL(1) + hops(1) + length(4).
+HEADER_LENGTH = 23
+
+DESCRIPTOR_PING = 0x00
+DESCRIPTOR_PONG = 0x01
+DESCRIPTOR_BYE = 0x02
+DESCRIPTOR_QRP = 0x30
+DESCRIPTOR_PUSH = 0x40
+DESCRIPTOR_QUERY = 0x80
+DESCRIPTOR_QUERY_HIT = 0x81
+
+#: Limewire 4.x initialized queries with TTL 3-4 under dynamic querying.
+DEFAULT_TTL = 4
+#: Descriptors arriving with TTL+hops above this are dropped as abusive.
+MAX_TTL = 7
+#: Sanity cap on payload length (spec suggests dropping > 4 kB payloads
+#: except query hits, which may run larger).
+MAX_PAYLOAD_LENGTH = 64 * 1024
+
+DEFAULT_PORT = 6346
+
+#: Servents packed at most this many results into one QueryHit.
+MAX_RESULTS_PER_HIT = 64
+
+QHD_VENDOR_LIMEWIRE = b"LIME"
+QHD_VENDOR_GIFT = b"GIFT"
+
+SPEED_MODEM_KBPS = 56
+SPEED_CABLE_KBPS = 1_000
+SPEED_T1_KBPS = 1_544

@@ -1,0 +1,231 @@
+"""GGEP: the Gnutella Generic Extension Protocol.
+
+GGEP is the extension framing modern servents appended to Query, QueryHit
+and Pong payloads (magic ``0xC3``, then a sequence of extension blocks).
+Each block carries:
+
+* a flag byte: ``last`` (bit 7), ``COBS-encoded`` (bit 6, used when the
+  payload must avoid NUL bytes inside NUL-terminated areas), ``deflate``
+  (bit 5, not used by this implementation), and the id length (bits 0-3);
+* the ASCII extension id (1-15 bytes);
+* a 1-3 byte big-endian-ish length encoding where bit 6 of each byte
+  marks "more length bytes follow" and bit 7 must be clear -- we follow
+  the GGEP spec's granny encoding;
+* the payload bytes.
+
+We implement the subset 2006 Limewire emitted in hits: ``VC`` (vendor
+code + version), ``DU`` (daily uptime), ``GUE`` (GUESS support) and
+arbitrary ids for forward compatibility.  COBS encode/decode is included
+and exercised so blocks survive embedding in NUL-delimited extension
+areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["GgepError", "GgepBlock", "encode_ggep", "decode_ggep",
+           "cobs_encode", "cobs_decode", "GGEP_MAGIC", "vendor_block",
+           "daily_uptime_block", "parse_daily_uptime"]
+
+GGEP_MAGIC = 0xC3
+
+_FLAG_LAST = 0x80
+_FLAG_COBS = 0x40
+_FLAG_DEFLATE = 0x20
+_ID_LENGTH_MASK = 0x0F
+
+
+class GgepError(ValueError):
+    """Raised on malformed GGEP frames."""
+
+
+# ---------------------------------------------------------------------------
+# COBS (consistent overhead byte stuffing), as referenced by the GGEP spec
+# ---------------------------------------------------------------------------
+
+def cobs_encode(data: bytes) -> bytes:
+    """COBS-encode ``data`` so it contains no NUL bytes.
+
+    Canonical algorithm: a code byte precedes each block and states the
+    offset to the next (elided) NUL; full 254-byte runs use code 0xFF and
+    imply no NUL.
+    """
+    output = bytearray()
+    code_index = len(output)
+    output.append(0)  # placeholder for the first code byte
+    code = 1
+    for byte in data:
+        if byte:
+            output.append(byte)
+            code += 1
+            if code == 0xFF:
+                output[code_index] = code
+                code_index = len(output)
+                output.append(0)
+                code = 1
+        else:
+            output[code_index] = code
+            code_index = len(output)
+            output.append(0)
+            code = 1
+    output[code_index] = code
+    return bytes(output)
+
+
+def cobs_decode(data: bytes) -> bytes:
+    """Invert :func:`cobs_encode`."""
+    if not data:
+        raise GgepError("empty COBS data")
+    output = bytearray()
+    index = 0
+    while index < len(data):
+        code = data[index]
+        if code == 0:
+            raise GgepError("COBS code byte may not be zero")
+        index += 1
+        block = data[index:index + code - 1]
+        if len(block) != code - 1:
+            raise GgepError("truncated COBS block")
+        output.extend(block)
+        index += code - 1
+        if code != 0xFF and index < len(data):
+            output.append(0)
+    return bytes(output)
+
+
+# ---------------------------------------------------------------------------
+# length granny-encoding per the GGEP specification
+# ---------------------------------------------------------------------------
+
+def _encode_length(length: int) -> bytes:
+    if length < 0 or length > 0x3FFFF:
+        raise GgepError(f"GGEP payload length {length} out of range")
+    chunks = []
+    remaining = length
+    while True:
+        chunks.append(remaining & 0x3F)
+        remaining >>= 6
+        if not remaining:
+            break
+    chunks.reverse()
+    encoded = bytearray()
+    for position, chunk in enumerate(chunks):
+        more = position < len(chunks) - 1
+        encoded.append((0x80 if not more else 0x40) | chunk)
+    return bytes(encoded)
+
+
+def _decode_length(data: bytes, offset: int) -> Tuple[int, int]:
+    length = 0
+    for _ in range(3):
+        if offset >= len(data):
+            raise GgepError("truncated GGEP length")
+        byte = data[offset]
+        offset += 1
+        length = (length << 6) | (byte & 0x3F)
+        if byte & 0x80:
+            return length, offset
+        if not byte & 0x40:
+            raise GgepError("malformed GGEP length byte")
+    raise GgepError("GGEP length longer than 3 bytes")
+
+
+# ---------------------------------------------------------------------------
+# blocks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GgepBlock:
+    """One GGEP extension."""
+
+    extension_id: str
+    payload: bytes
+    cobs: bool = False
+
+    def __post_init__(self) -> None:
+        encoded_id = self.extension_id.encode("ascii", errors="strict")
+        if not 1 <= len(encoded_id) <= 15:
+            raise GgepError(
+                f"GGEP id must be 1-15 bytes, got {self.extension_id!r}")
+
+
+def encode_ggep(blocks: List[GgepBlock]) -> bytes:
+    """Serialize blocks into a GGEP frame (magic + block sequence)."""
+    if not blocks:
+        raise GgepError("GGEP frame needs at least one block")
+    output = bytearray([GGEP_MAGIC])
+    for position, block in enumerate(blocks):
+        last = position == len(blocks) - 1
+        payload = cobs_encode(block.payload) if block.cobs else block.payload
+        identifier = block.extension_id.encode("ascii")
+        flags = len(identifier) & _ID_LENGTH_MASK
+        if last:
+            flags |= _FLAG_LAST
+        if block.cobs:
+            flags |= _FLAG_COBS
+        output.append(flags)
+        output.extend(identifier)
+        output.extend(_encode_length(len(payload)))
+        output.extend(payload)
+    return bytes(output)
+
+
+def decode_ggep(data: bytes) -> Tuple[List[GgepBlock], int]:
+    """Parse a GGEP frame; returns (blocks, bytes consumed)."""
+    if not data or data[0] != GGEP_MAGIC:
+        raise GgepError("missing GGEP magic")
+    blocks: List[GgepBlock] = []
+    offset = 1
+    while True:
+        if offset >= len(data):
+            raise GgepError("truncated GGEP frame")
+        flags = data[offset]
+        offset += 1
+        if flags & _FLAG_DEFLATE:
+            raise GgepError("deflate-compressed GGEP not supported")
+        id_length = flags & _ID_LENGTH_MASK
+        if id_length == 0:
+            raise GgepError("GGEP id length may not be zero")
+        identifier = data[offset:offset + id_length]
+        if len(identifier) != id_length:
+            raise GgepError("truncated GGEP id")
+        offset += id_length
+        payload_length, offset = _decode_length(data, offset)
+        payload = data[offset:offset + payload_length]
+        if len(payload) != payload_length:
+            raise GgepError("truncated GGEP payload")
+        offset += payload_length
+        cobs = bool(flags & _FLAG_COBS)
+        if cobs:
+            payload = cobs_decode(payload)
+        blocks.append(GgepBlock(
+            extension_id=identifier.decode("ascii", errors="strict"),
+            payload=payload, cobs=cobs))
+        if flags & _FLAG_LAST:
+            return blocks, offset
+
+
+def vendor_block(vendor: bytes, version: int) -> GgepBlock:
+    """The ``VC`` block Limewire attached to hits."""
+    if len(vendor) != 4:
+        raise GgepError("vendor code must be 4 bytes")
+    return GgepBlock(extension_id="VC",
+                     payload=vendor + bytes([version & 0xFF]))
+
+
+def daily_uptime_block(seconds: int) -> GgepBlock:
+    """The ``DU`` block advertising average daily uptime."""
+    if seconds < 0:
+        raise GgepError("uptime may not be negative")
+    length = max(1, (seconds.bit_length() + 7) // 8)
+    return GgepBlock(extension_id="DU",
+                     payload=seconds.to_bytes(length, "little"))
+
+
+def parse_daily_uptime(block: GgepBlock) -> int:
+    """Read a ``DU`` payload back into seconds."""
+    if block.extension_id != "DU":
+        raise GgepError(f"not a DU block: {block.extension_id!r}")
+    return int.from_bytes(block.payload, "little")

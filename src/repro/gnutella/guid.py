@@ -1,0 +1,33 @@
+"""16-byte Gnutella GUIDs.
+
+GUIDs identify descriptors (for duplicate suppression and reverse-path
+routing) and servents (in the QueryHit trailer, used by PUSH).  Modern
+servents set byte 8 to 0xFF and byte 15 to 0x00 to mark "new" GUIDs; we
+follow that so decoding can sanity-check provenance.
+"""
+
+from __future__ import annotations
+
+from ..simnet.rng import SeededStream
+
+__all__ = ["GUID_LENGTH", "new_guid", "guid_hex", "is_modern_guid"]
+
+GUID_LENGTH = 16
+
+
+def new_guid(stream: SeededStream) -> bytes:
+    """Draw a fresh modern-style GUID from ``stream``."""
+    raw = bytearray(stream.bytes(GUID_LENGTH))
+    raw[8] = 0xFF
+    raw[15] = 0x00
+    return bytes(raw)
+
+
+def guid_hex(guid: bytes) -> str:
+    """Hex rendering for logs and dict keys."""
+    return guid.hex()
+
+
+def is_modern_guid(guid: bytes) -> bool:
+    """True when the GUID carries the modern-servent markers."""
+    return len(guid) == GUID_LENGTH and guid[8] == 0xFF and guid[15] == 0x00

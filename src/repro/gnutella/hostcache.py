@@ -1,0 +1,109 @@
+"""Host cache and bootstrap: how a servent finds ultrapeers to join.
+
+Real servents kept a cache of known hosts fed by two sources: Pong
+descriptors (each advertises an address, port and library size) and the
+``X-Try-Ultrapeers`` header that busy/rejecting ultrapeers attach to
+handshake responses.  A joining node works through cache entries freshest
+first until enough connections stick.
+
+The cache is bounded, freshness-ordered, and deduplicates by (address,
+port); the bootstrap helper on :class:`~repro.gnutella.network.
+GnutellaNetwork` drives a full discovery round through the real Ping/Pong
+and handshake code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .messages import Pong
+
+__all__ = ["CachedHost", "HostCache", "parse_x_try_ultrapeers",
+           "format_x_try_ultrapeers"]
+
+
+@dataclass(frozen=True)
+class CachedHost:
+    """One known host."""
+
+    address: str
+    port: int
+    last_seen: float
+    ultrapeer: bool
+    file_count: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Dedup key."""
+        return (self.address, self.port)
+
+
+class HostCache:
+    """Bounded, freshness-ordered cache of known hosts."""
+
+    def __init__(self, capacity: int = 200) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._hosts: Dict[Tuple[str, int], CachedHost] = {}
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def add(self, host: CachedHost) -> None:
+        """Insert or refresh a host; evicts the stalest when full."""
+        existing = self._hosts.get(host.key)
+        if existing is not None and existing.last_seen > host.last_seen:
+            return  # stale information about a host we know better
+        self._hosts[host.key] = host
+        if len(self._hosts) > self.capacity:
+            stalest = min(self._hosts.values(),
+                          key=lambda cached: cached.last_seen)
+            del self._hosts[stalest.key]
+
+    def add_pong(self, pong: Pong, now: float,
+                 ultrapeer: bool = True) -> None:
+        """Learn a host from a Pong descriptor."""
+        self.add(CachedHost(address=pong.address, port=pong.port,
+                            last_seen=now, ultrapeer=ultrapeer,
+                            file_count=pong.file_count))
+
+    def candidates(self, count: int,
+                   ultrapeers_only: bool = True) -> List[CachedHost]:
+        """The freshest ``count`` hosts to try connecting to."""
+        hosts = [host for host in self._hosts.values()
+                 if host.ultrapeer or not ultrapeers_only]
+        hosts.sort(key=lambda cached: -cached.last_seen)
+        return hosts[:count]
+
+    def forget(self, address: str, port: int) -> None:
+        """Drop a host that refused or failed."""
+        self._hosts.pop((address, port), None)
+
+
+def format_x_try_ultrapeers(hosts: List[CachedHost]) -> str:
+    """Render the ``X-Try-Ultrapeers`` header value."""
+    return ",".join(f"{host.address}:{host.port}" for host in hosts)
+
+
+def parse_x_try_ultrapeers(value: str, now: float) -> List[CachedHost]:
+    """Parse an ``X-Try-Ultrapeers`` header into cache entries.
+
+    Malformed entries are skipped, as servents did -- the header came
+    from arbitrary peers.
+    """
+    hosts: List[CachedHost] = []
+    for chunk in value.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        address, separator, port_text = chunk.rpartition(":")
+        if not separator or not port_text.isdigit():
+            continue
+        port = int(port_text)
+        if not 0 < port < 65536:
+            continue
+        hosts.append(CachedHost(address=address, port=port,
+                                last_seen=now, ultrapeer=True))
+    return hosts

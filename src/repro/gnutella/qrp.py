@@ -1,0 +1,235 @@
+"""Query Routing Protocol (QRP).
+
+Leaves summarize their shared keywords into a hash bitmap (the query route
+table, QRT) and send it to their ultrapeers; an ultrapeer forwards a query
+to a leaf only when *every* query keyword hashes into a set slot.  This is
+the mechanism that decides which leaves see which queries -- and the one
+query-echo worms subverted by advertising an all-ones table so that every
+query reached them.
+
+The hash is the canonical QRP function (multiplicative hashing with
+A = 0x4F1BBCDC, taking the top ``bits`` bits), and route tables ship as
+RESET + uncompressed PATCH messages framed per the QRP spec's descriptor
+type 0x30.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..files.names import tokenize
+
+__all__ = ["DEFAULT_TABLE_BITS", "qrp_hash", "QueryRouteTable",
+           "QrpReset", "QrpPatch", "encode_qrp", "decode_qrp"]
+
+#: 2^16 slots, Limewire's default leaf table size.
+DEFAULT_TABLE_BITS = 16
+
+_GOLDEN = 0x4F1BBCDC  # 2^32 * (sqrt(5)-1)/2, per the QRP spec
+_MIN_TOKEN_LENGTH = 3  # servents ignored 1-2 letter tokens
+
+
+def qrp_hash(token: str, bits: int = DEFAULT_TABLE_BITS) -> int:
+    """Hash a keyword to a table slot.
+
+    Bytes of the lowercased token are XOR-folded into a 32-bit word (each
+    byte shifted by 8*(i mod 4)), then multiplicatively hashed.
+    """
+    if not 0 < bits <= 32:
+        raise ValueError(f"bits must be in 1..32, got {bits!r}")
+    folded = 0
+    for index, byte in enumerate(token.lower().encode("utf-8")):
+        folded ^= (byte & 0xFF) << ((index % 4) * 8)
+    product = (folded * _GOLDEN) & 0xFFFFFFFF
+    return product >> (32 - bits)
+
+
+def _routable_tokens(text: str) -> List[str]:
+    return [token for token in tokenize(text)
+            if len(token) >= _MIN_TOKEN_LENGTH]
+
+
+class QueryRouteTable:
+    """A leaf's keyword bitmap."""
+
+    def __init__(self, bits: int = DEFAULT_TABLE_BITS) -> None:
+        self.bits = bits
+        self.size = 1 << bits
+        self._slots = bytearray(self.size)
+        self._all_ones = False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryRouteTable):
+            return NotImplemented
+        return (self.bits == other.bits and self._all_ones == other._all_ones
+                and self._slots == other._slots)
+
+    @property
+    def set_count(self) -> int:
+        """Number of set slots (diagnostics / tests)."""
+        return self.size if self._all_ones else sum(self._slots)
+
+    def add_keyword(self, token: str) -> None:
+        """Mark one keyword present."""
+        self._slots[qrp_hash(token, self.bits)] = 1
+
+    def add_name(self, name: str) -> None:
+        """Mark every routable token of a file name."""
+        for token in _routable_tokens(name):
+            self.add_keyword(token)
+
+    def build_from(self, names: Iterable[str]) -> None:
+        """(Re)build from a library's file names."""
+        self._slots = bytearray(self.size)
+        self._all_ones = False
+        for name in names:
+            self.add_name(name)
+
+    def mark_all(self) -> None:
+        """Set every slot -- the echo-worm trick to receive all queries."""
+        self._slots = bytearray(b"\x01" * self.size)
+        self._all_ones = True
+
+    def might_match(self, query: str) -> bool:
+        """QRP forwarding decision for ``query``.
+
+        True when every routable query token is present.  Queries with no
+        routable token are conservatively forwarded (spec behaviour for
+        urn-only queries).
+        """
+        if self._all_ones:
+            return True
+        tokens = _routable_tokens(query)
+        if not tokens:
+            return True
+        return all(self._slots[qrp_hash(token, self.bits)] for token in tokens)
+
+    # -- wire form ---------------------------------------------------------
+    def to_messages(self, fragment_slots: int = 2048,
+                    compress: bool = False) -> List:
+        """Serialize as one RESET plus PATCH fragments.
+
+        ``compress=True`` marks the patches zlib-compressed (servents
+        negotiated this; mostly-empty leaf tables compress enormously).
+        """
+        compressor = COMPRESSOR_ZLIB if compress else COMPRESSOR_NONE
+        patches: List[QrpPatch] = []
+        fragments = [self._slots[start:start + fragment_slots]
+                     for start in range(0, self.size, fragment_slots)]
+        for index, fragment in enumerate(fragments):
+            patches.append(QrpPatch(
+                sequence_number=index + 1,
+                sequence_count=len(fragments),
+                entry_bits=8,
+                data=bytes(fragment),
+                compressor=compressor,
+            ))
+        return [QrpReset(table_length=self.size, infinity=7), *patches]
+
+    @staticmethod
+    def from_messages(messages: Iterable) -> "QueryRouteTable":
+        """Rebuild a table from a RESET + PATCH stream."""
+        table: QueryRouteTable = QueryRouteTable()
+        cursor = 0
+        for message in messages:
+            if isinstance(message, QrpReset):
+                bits = message.table_length.bit_length() - 1
+                table = QueryRouteTable(bits=bits)
+                cursor = 0
+            elif isinstance(message, QrpPatch):
+                end = cursor + len(message.data)
+                if end > table.size:
+                    raise ValueError("QRP patch overruns table")
+                table._slots[cursor:end] = message.data
+                cursor = end
+            else:
+                raise TypeError(f"not a QRP message: {message!r}")
+        table._all_ones = all(table._slots)
+        return table
+
+
+@dataclass(frozen=True)
+class QrpReset:
+    """QRP RESET variant: clears the table and declares its geometry."""
+
+    table_length: int
+    infinity: int
+
+    variant = 0x00
+
+    def encode(self) -> bytes:
+        return struct.pack("<BIB", self.variant, self.table_length,
+                           self.infinity)
+
+
+#: QRP patch compressor codes (per the spec)
+COMPRESSOR_NONE = 0x00
+COMPRESSOR_ZLIB = 0x01
+
+
+@dataclass(frozen=True)
+class QrpPatch:
+    """QRP PATCH variant (8-bit entries; optional zlib compression).
+
+    ``data`` always holds the *uncompressed* slot bytes; compression is
+    applied at encode time and undone at decode time, so equality and
+    table reconstruction are independent of the wire compressor.
+    """
+
+    sequence_number: int
+    sequence_count: int
+    entry_bits: int
+    data: bytes
+    compressor: int = COMPRESSOR_NONE
+
+    variant = 0x01
+
+    def encode(self) -> bytes:
+        if self.compressor == COMPRESSOR_ZLIB:
+            import zlib
+            body = zlib.compress(self.data, level=6)
+        elif self.compressor == COMPRESSOR_NONE:
+            body = self.data
+        else:
+            raise ValueError(
+                f"unsupported QRP compressor {self.compressor}")
+        return struct.pack("<BBBBB", self.variant, self.sequence_number,
+                           self.sequence_count, self.compressor,
+                           self.entry_bits) + body
+
+
+def encode_qrp(message) -> bytes:
+    """Encode either QRP variant to payload bytes."""
+    return message.encode()
+
+
+def decode_qrp(payload: bytes):
+    """Decode a QRP payload into :class:`QrpReset` or :class:`QrpPatch`."""
+    if not payload:
+        raise ValueError("empty QRP payload")
+    variant = payload[0]
+    if variant == QrpReset.variant:
+        if len(payload) < 6:
+            raise ValueError("short QRP reset")
+        table_length, infinity = struct.unpack_from("<IB", payload, 1)
+        return QrpReset(table_length=table_length, infinity=infinity)
+    if variant == QrpPatch.variant:
+        if len(payload) < 5:
+            raise ValueError("short QRP patch")
+        sequence_number, sequence_count, compressor, entry_bits = payload[1:5]
+        body = payload[5:]
+        if compressor == COMPRESSOR_ZLIB:
+            import zlib
+            try:
+                body = zlib.decompress(body)
+            except zlib.error as exc:
+                raise ValueError("corrupt zlib QRP patch") from exc
+        elif compressor != COMPRESSOR_NONE:
+            raise ValueError(f"unsupported QRP compressor {compressor}")
+        return QrpPatch(sequence_number=sequence_number,
+                        sequence_count=sequence_count,
+                        entry_bits=entry_bits, data=body,
+                        compressor=compressor)
+    raise ValueError(f"unknown QRP variant {variant}")

@@ -1,0 +1,31 @@
+"""OpenFT protocol implementation over the simulated network.
+
+Binary packet codec (:mod:`packets`), node classes and behaviour
+(:mod:`nodes`) and the overlay facade (:mod:`network`).  Substitutes for
+the live OpenFT network the paper measured with an instrumented giFT node.
+"""
+
+from .constants import (CLASS_INDEX, CLASS_SEARCH, CLASS_USER,
+                        DEFAULT_HTTP_PORT, DEFAULT_OPENFT_PORT,
+                        MAX_SEARCH_RESULTS, OPENFT_VERSION, SEARCH_TTL)
+from .network import OpenFTNetwork
+from .nodes import NodeStats, OpenFTNode, ShareRecord
+from .packets import (AddShare, BrowseRequest, BrowseResponse, ChildRequest,
+                      ChildResponse, NodeInfoRequest, NodeInfoResponse,
+                      PacketError, PushRequest, RemShare, SearchRequest,
+                      SearchResponse, ShareSyncEnd, StatsRequest,
+                      StatsResponse, VersionRequest, VersionResponse,
+                      decode_packet, encode_packet)
+
+__all__ = [
+    "CLASS_INDEX", "CLASS_SEARCH", "CLASS_USER", "DEFAULT_HTTP_PORT",
+    "DEFAULT_OPENFT_PORT", "MAX_SEARCH_RESULTS", "OPENFT_VERSION",
+    "SEARCH_TTL",
+    "OpenFTNetwork",
+    "NodeStats", "OpenFTNode", "ShareRecord",
+    "AddShare", "BrowseRequest", "BrowseResponse", "ChildRequest",
+    "ChildResponse", "NodeInfoRequest", "NodeInfoResponse", "PacketError",
+    "PushRequest", "RemShare", "SearchRequest", "SearchResponse",
+    "ShareSyncEnd", "StatsRequest", "StatsResponse", "VersionRequest",
+    "VersionResponse", "decode_packet", "encode_packet",
+]

@@ -1,0 +1,9 @@
+"""Population models: profiles and world builders for both networks."""
+
+from .population import BuiltWorld, build_gnutella_world, build_openft_world
+from .profiles import GnutellaProfile, OpenFTProfile, StrainSeeding
+
+__all__ = [
+    "BuiltWorld", "build_gnutella_world", "build_openft_world",
+    "GnutellaProfile", "OpenFTProfile", "StrainSeeding",
+]

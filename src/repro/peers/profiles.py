@@ -1,0 +1,161 @@
+"""Population profiles for the two measured networks.
+
+A profile fixes everything about the simulated world except the campaign:
+overlay shape, clean population, per-strain infected host counts, NAT
+fractions and churn mix.  The default numbers are a *scaled-down*
+calibration chosen so the measured shapes land on the paper's findings
+(68%/3% prevalence, 99%/75% top-3 concentration, 28% private sources,
+single dominant OpenFT host); scale factors let benchmarks grow the world
+without retuning ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..files.catalog import CatalogConfig
+from ..files.types import FileType
+
+__all__ = ["StrainSeeding", "GnutellaProfile", "OpenFTProfile"]
+
+
+@dataclass(frozen=True)
+class StrainSeeding:
+    """How one strain is seeded into a population.
+
+    ``initial_hosts`` carry the strain from day zero; ``final_hosts`` is
+    the logistic-growth target at the campaign horizon (equal counts mean
+    a static strain).  ``resident_copies`` is how many bait-named copies a
+    share-infector/dropper keeps in each infected library; ``dedicated``
+    marks strains served from one always-on host (the OpenFT top virus).
+    """
+
+    initial_hosts: int
+    final_hosts: int
+    resident_copies: int = 4
+    dedicated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.initial_hosts < 0 or self.final_hosts < self.initial_hosts:
+            raise ValueError("need 0 <= initial_hosts <= final_hosts")
+        if self.dedicated and self.initial_hosts != 1:
+            raise ValueError("a dedicated strain is served by exactly one host")
+
+
+@dataclass(frozen=True)
+class GnutellaProfile:
+    """The Limewire-side world."""
+
+    ultrapeers: int = 24
+    ultrapeer_degree: int = 6
+    clean_leaves: int = 420
+    leaf_attachments: int = 2
+    #: when True, ultrapeers pace leaf queries with LimeWire's dynamic
+    #: query controller instead of flooding (ablation; see DESIGN.md)
+    dynamic_queries: bool = False
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    #: files per clean library (uniform range)
+    library_size: Tuple[int, int] = (5, 40)
+    #: NAT fraction of clean and infected leaves (C3 depends on the latter)
+    clean_nat_fraction: float = 0.30
+    infected_nat_fraction: float = 0.26
+    #: churn mix of clean leaves: (home, server-like, always-on) weights
+    churn_mix: Tuple[float, float, float] = (0.70, 0.25, 0.05)
+    #: fraction of overlay messages lost in transit (failure injection)
+    loss_rate: float = 0.0
+    #: per-strain seeding, keyed by strain_id; see :mod:`repro.malware.corpus`
+    seeding: Dict[str, StrainSeeding] = field(default_factory=lambda: {
+        "lw-echo-a": StrainSeeding(initial_hosts=52, final_hosts=62),
+        "lw-echo-b": StrainSeeding(initial_hosts=23, final_hosts=27),
+        "lw-share-c": StrainSeeding(initial_hosts=30, final_hosts=34,
+                                    resident_copies=10),
+        "lw-drop-d": StrainSeeding(initial_hosts=3, final_hosts=3),
+        "lw-share-e": StrainSeeding(initial_hosts=2, final_hosts=2),
+        "lw-drop-f": StrainSeeding(initial_hosts=2, final_hosts=2),
+        "lw-share-g": StrainSeeding(initial_hosts=1, final_hosts=1),
+        "lw-share-h": StrainSeeding(initial_hosts=1, final_hosts=1),
+        "lw-drop-i": StrainSeeding(initial_hosts=1, final_hosts=1),
+        "lw-share-j": StrainSeeding(initial_hosts=1, final_hosts=1),
+    })
+
+    def scaled(self, factor: float) -> "GnutellaProfile":
+        """A proportionally larger/smaller world (ratios preserved)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        seeding = {
+            strain_id: replace(
+                seed,
+                initial_hosts=(1 if seed.dedicated else
+                               max(1, round(seed.initial_hosts * factor))),
+                final_hosts=(1 if seed.dedicated else
+                             max(1, round(seed.final_hosts * factor))),
+            )
+            for strain_id, seed in self.seeding.items()
+        }
+        return replace(
+            self,
+            ultrapeers=max(4, round(self.ultrapeers * factor)),
+            clean_leaves=max(10, round(self.clean_leaves * factor)),
+            seeding=seeding,
+        )
+
+
+@dataclass(frozen=True)
+class OpenFTProfile:
+    """The OpenFT-side world."""
+
+    search_nodes: int = 8
+    user_nodes: int = 260
+    parents_per_user: int = 2
+    catalog: CatalogConfig = field(default_factory=lambda: CatalogConfig(
+        works=1500,
+        type_mix=(
+            # OpenFT skewed even more towards software/archives than
+            # Gnutella's music-heavy mix (giFT userbase), which keeps the
+            # clean downloadable denominator rich.
+            (FileType.AUDIO, 0.34), (FileType.VIDEO, 0.14),
+            (FileType.ARCHIVE, 0.22), (FileType.EXECUTABLE, 0.18),
+            (FileType.IMAGE, 0.07), (FileType.DOCUMENT, 0.05),
+        ),
+    ))
+    library_size: Tuple[int, int] = (8, 60)
+    clean_nat_fraction: float = 0.22
+    infected_nat_fraction: float = 0.22
+    churn_mix: Tuple[float, float, float] = (0.60, 0.30, 0.10)
+    #: fraction of overlay messages lost in transit (failure injection)
+    loss_rate: float = 0.0
+    seeding: Dict[str, StrainSeeding] = field(default_factory=lambda: {
+        "ft-share-a": StrainSeeding(initial_hosts=1, final_hosts=1,
+                                    resident_copies=80, dedicated=True),
+        "ft-share-b": StrainSeeding(initial_hosts=2, final_hosts=3,
+                                    resident_copies=4),
+        "ft-drop-c": StrainSeeding(initial_hosts=2, final_hosts=3,
+                                   resident_copies=3),
+        "ft-share-d": StrainSeeding(initial_hosts=2, final_hosts=2,
+                                    resident_copies=4),
+        "ft-drop-e": StrainSeeding(initial_hosts=1, final_hosts=2,
+                                   resident_copies=3),
+        "ft-share-f": StrainSeeding(initial_hosts=1, final_hosts=2,
+                                    resident_copies=4),
+        "ft-share-g": StrainSeeding(initial_hosts=1, final_hosts=2,
+                                    resident_copies=4),
+        "ft-drop-h": StrainSeeding(initial_hosts=1, final_hosts=1,
+                                   resident_copies=3),
+        "ft-share-i": StrainSeeding(initial_hosts=1, final_hosts=2,
+                                    resident_copies=4),
+        "ft-share-j": StrainSeeding(initial_hosts=1, final_hosts=1,
+                                    resident_copies=4),
+        "ft-drop-k": StrainSeeding(initial_hosts=1, final_hosts=1,
+                                   resident_copies=3),
+    })
+
+    def scaled(self, factor: float) -> "OpenFTProfile":
+        """A proportionally larger/smaller world (ratios preserved)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        return replace(
+            self,
+            search_nodes=max(2, round(self.search_nodes * factor)),
+            user_nodes=max(10, round(self.user_nodes * factor)),
+        )

@@ -1,0 +1,15 @@
+"""Simulated AV scanner: signatures, databases and the scan engine.
+
+Plays the role of the AV tooling the paper used for ground truth on
+downloaded files.
+"""
+
+from .database import SignatureDatabase, database_for_strains
+from .engine import Detection, ScanEngine, ScanVerdict
+from .signatures import Signature, SignatureKind
+
+__all__ = [
+    "SignatureDatabase", "database_for_strains",
+    "Detection", "ScanEngine", "ScanVerdict",
+    "Signature", "SignatureKind",
+]

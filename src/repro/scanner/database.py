@@ -1,0 +1,70 @@
+"""Signature databases.
+
+The paper downloaded responses and scanned them with AV tooling to obtain
+ground truth.  :func:`database_for_strains` builds the equivalent: one
+pattern signature per strain in a corpus (full coverage -- this DB *is*
+the ground truth labeller).  ``coverage`` below 1.0 models a stale engine
+that misses the newest strains, used in ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..malware.strain import MalwareStrain
+from .signatures import Signature, SignatureKind
+
+__all__ = ["SignatureDatabase", "database_for_strains"]
+
+
+class SignatureDatabase:
+    """Indexed collection of signatures."""
+
+    def __init__(self, signatures: Iterable[Signature] = ()) -> None:
+        self._patterns: List[Signature] = []
+        self._hashes: Dict[str, Signature] = {}
+        for signature in signatures:
+            self.add(signature)
+
+    def __len__(self) -> int:
+        return len(self._patterns) + len(self._hashes)
+
+    def add(self, signature: Signature) -> None:
+        """Register a signature."""
+        if signature.kind is SignatureKind.PATTERN:
+            self._patterns.append(signature)
+        else:
+            assert signature.sha1_urn is not None
+            self._hashes[signature.sha1_urn] = signature
+
+    def match_hash(self, sha1_urn: str) -> Optional[Signature]:
+        """Exact-content lookup."""
+        return self._hashes.get(sha1_urn)
+
+    def pattern_signatures(self) -> List[Signature]:
+        """All byte-pattern signatures (engine iterates these)."""
+        return list(self._patterns)
+
+    def names(self) -> List[str]:
+        """Sorted distinct detection names."""
+        names = {signature.name for signature in self._patterns}
+        names.update(signature.name for signature in self._hashes.values())
+        return sorted(names)
+
+
+def database_for_strains(strains: Iterable[MalwareStrain],
+                         coverage: float = 1.0) -> SignatureDatabase:
+    """Signature DB covering (a prefix of) a strain corpus.
+
+    ``coverage`` is the fraction of strains (in corpus order, i.e. most
+    prevalent first) the DB knows about; 1.0 reproduces the paper's
+    ground-truth scan, lower values model a lagging AV product.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"coverage must be in [0, 1], got {coverage!r}")
+    strain_list = list(strains)
+    covered = strain_list[:round(len(strain_list) * coverage)]
+    return SignatureDatabase(
+        Signature.for_pattern(strain.av_name, strain.marker)
+        for strain in covered
+    )

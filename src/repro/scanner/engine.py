@@ -1,0 +1,92 @@
+"""The scan engine: blob in, verdict out.
+
+The pipeline mirrors an AV scan of a downloaded file:
+
+1. exact-hash lookup on the content identity;
+2. byte-pattern search over the body (our sparse blobs expose embedded
+   markers, and the header bytes are also searched so header-based
+   signatures would work);
+3. recursion into archive members, depth-limited the way real engines
+   bound decompression bombs.
+
+A verdict reports every detection with the responsible signature name and
+where in the member tree it fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..files.payload import Blob
+from .database import SignatureDatabase
+
+__all__ = ["Detection", "ScanVerdict", "ScanEngine"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One signature firing."""
+
+    signature_name: str
+    location: str  # "/" for the top blob, "/0" for first member, etc.
+
+
+@dataclass
+class ScanVerdict:
+    """Outcome of scanning one blob."""
+
+    clean: bool
+    detections: List[Detection] = field(default_factory=list)
+    members_scanned: int = 0
+    truncated: bool = False  # depth limit hit
+
+    @property
+    def primary_name(self) -> Optional[str]:
+        """The first detection's name (what a UI would display)."""
+        return self.detections[0].signature_name if self.detections else None
+
+
+class ScanEngine:
+    """Scans blobs against a :class:`SignatureDatabase`."""
+
+    def __init__(self, database: SignatureDatabase,
+                 max_depth: int = 4) -> None:
+        if max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth!r}")
+        self.database = database
+        self.max_depth = max_depth
+        self.scans_performed = 0
+
+    def scan(self, blob: Blob) -> ScanVerdict:
+        """Scan ``blob`` (recursing into members) and return the verdict."""
+        self.scans_performed += 1
+        verdict = ScanVerdict(clean=True)
+        self._scan_node(blob, "/", 0, verdict)
+        verdict.clean = not verdict.detections
+        return verdict
+
+    def _scan_node(self, blob: Blob, location: str, depth: int,
+                   verdict: ScanVerdict) -> None:
+        verdict.members_scanned += 1
+
+        hash_hit = self.database.match_hash(blob.sha1_urn())
+        if hash_hit is not None:
+            verdict.detections.append(
+                Detection(signature_name=hash_hit.name, location=location))
+
+        body = b"|".join(blob.markers) + b"#" + blob.header()
+        for signature in self.database.pattern_signatures():
+            assert signature.pattern is not None
+            if signature.pattern in body:
+                verdict.detections.append(
+                    Detection(signature_name=signature.name,
+                              location=location))
+
+        if blob.members:
+            if depth >= self.max_depth:
+                verdict.truncated = True
+                return
+            for index, member in enumerate(blob.members):
+                child_location = f"{location.rstrip('/')}/{index}"
+                self._scan_node(member, child_location, depth + 1, verdict)

@@ -1,0 +1,54 @@
+"""Signature definitions for the simulated AV scanner.
+
+Two signature kinds mirror real engines:
+
+* **pattern** signatures match a byte string anywhere in the file body
+  (our sparse payloads expose embedded markers for this);
+* **hash** signatures match an exact content identity (urn:sha1), the way
+  blocklists and Limewire's own junk filter worked.
+
+Each signature carries the AV-style detection name reported in verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SignatureKind", "Signature"]
+
+
+class SignatureKind(enum.Enum):
+    """How a signature matches."""
+
+    PATTERN = "pattern"
+    HASH = "hash"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One detection rule."""
+
+    name: str
+    kind: SignatureKind
+    pattern: Optional[bytes] = None
+    sha1_urn: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is SignatureKind.PATTERN and not self.pattern:
+            raise ValueError(f"pattern signature {self.name!r} needs bytes")
+        if self.kind is SignatureKind.HASH and not self.sha1_urn:
+            raise ValueError(f"hash signature {self.name!r} needs a urn")
+
+    @staticmethod
+    def for_pattern(name: str, pattern: bytes) -> "Signature":
+        """Build a byte-pattern signature."""
+        return Signature(name=name, kind=SignatureKind.PATTERN,
+                         pattern=pattern)
+
+    @staticmethod
+    def for_hash(name: str, sha1_urn: str) -> "Signature":
+        """Build an exact-content signature."""
+        return Signature(name=name, kind=SignatureKind.HASH,
+                         sha1_urn=sha1_urn)

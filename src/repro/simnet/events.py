@@ -1,0 +1,78 @@
+"""Event queue primitives for the discrete-event kernel.
+
+Events are (time, sequence, callback) triples kept in a binary heap.  The
+sequence number breaks ties deterministically: two events scheduled for the
+same instant fire in scheduling order, which is what keeps campaign runs
+bit-for-bit reproducible across Python versions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``cancelled`` events stay in the heap (removal from a heap middle is
+    O(n)) and are skipped on pop -- the standard lazy-deletion idiom.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: float, callback: Callable[[], Any],
+             label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule at negative time {time!r}")
+        event = Event(time=time, seq=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: callers invoke this after cancelling an event."""
+        self._live -= 1

@@ -1,0 +1,134 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns the virtual clock, the event queue and the stream
+registry.  Protocol nodes schedule callbacks (timers, message deliveries)
+and the kernel advances virtual time event by event until a stop condition.
+
+The kernel is deliberately tiny -- the complexity of the reproduction lives
+in the protocol and ecosystem layers -- but it enforces the two invariants
+everything else depends on: time never runs backwards, and same-seed runs
+replay identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .clock import VirtualClock
+from .events import Event, EventQueue
+from .rng import SeededStream, StreamRegistry
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop + clock + seeded randomness for one campaign."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.queue = EventQueue()
+        self.streams = StreamRegistry(seed)
+        self.seed = seed
+        self.events_processed = 0
+        self._halted = False
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.clock.now
+
+    # -- randomness ---------------------------------------------------------
+    def stream(self, name: str) -> SeededStream:
+        """Named deterministic random stream (see :mod:`repro.simnet.rng`)."""
+        return self.streams.stream(name)
+
+    # -- scheduling ---------------------------------------------------------
+    def at(self, time: float, callback: Callable[[], None],
+           label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``.
+
+        Scheduling in the past is a programming error and raises.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time!r}, clock already at {self.now!r}")
+        return self.queue.push(time, callback, label)
+
+    def after(self, delay: float, callback: Callable[[], None],
+              label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.queue.push(self.now + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (safe to call once per event)."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancelled()
+
+    def every(self, interval: float, callback: Callable[[], None],
+              label: str = "", jitter: Optional[SeededStream] = None,
+              until: Optional[float] = None) -> None:
+        """Run ``callback`` periodically until ``until`` (or forever).
+
+        With a ``jitter`` stream, each period is uniformly perturbed by up to
+        +/-10% so that periodic behaviours across thousands of simulated
+        peers do not phase-lock -- the same reason real servents jitter their
+        keepalives.
+        """
+        if interval <= 0:
+            raise ValueError(f"non-positive interval {interval!r}")
+
+        def tick() -> None:
+            if until is not None and self.now > until:
+                return
+            callback()
+            delay = interval
+            if jitter is not None:
+                delay *= jitter.uniform(0.9, 1.1)
+            next_time = self.now + delay
+            if until is None or next_time <= until:
+                self.queue.push(next_time, tick, label)
+
+        first = interval if jitter is None else interval * jitter.uniform(0.0, 1.0)
+        self.queue.push(self.now + first, tick, label)
+
+    # -- running ------------------------------------------------------------
+    def halt(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._halted = True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Process events up to and including virtual ``end_time``.
+
+        Returns the number of events processed by this call.  Events
+        scheduled beyond ``end_time`` remain queued, so the simulation can be
+        resumed (the campaign driver uses this to take daily snapshots).
+        """
+        processed = 0
+        self._halted = False
+        while not self._halted:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            event = self.queue.pop()
+            assert event is not None  # peek said there was one
+            self.clock.advance_to(event.time)
+            event.callback()
+            processed += 1
+        if not self._halted and (self.queue.peek_time() is None
+                                 or self.queue.peek_time() > end_time):
+            # drain reached the horizon; move the clock to it so callers can
+            # rely on now == end_time after the call
+            if end_time > self.clock.now:
+                self.clock.advance_to(end_time)
+        self.events_processed += processed
+        return processed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Process every queued event (bounded by ``max_events``)."""
+        return self.run_until(float("inf"), max_events=max_events)

@@ -1,0 +1,103 @@
+"""Transport tracing: a tcpdump for the simulated overlay.
+
+A :class:`TransportTrace` taps a transport's delivery path and records
+(time, src, dst, size, classification) per message into a bounded ring.
+The classifier is pluggable -- the protocol layers supply one that peeks
+at the frame header -- so traces can answer "what is this overlay's
+traffic made of", which is what the overhead analysis reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from .transport import Envelope, Transport
+
+__all__ = ["TracedMessage", "TransportTrace"]
+
+Classifier = Callable[[bytes], str]
+
+
+@dataclass(frozen=True)
+class TracedMessage:
+    """One captured delivery."""
+
+    time: float
+    src: str
+    dst: str
+    size: int
+    kind: str
+
+
+class TransportTrace:
+    """Bounded capture of a transport's deliveries."""
+
+    def __init__(self, transport: Transport, classify: Classifier,
+                 capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.transport = transport
+        self.classify = classify
+        self.capacity = capacity
+        self._ring: Deque[TracedMessage] = deque(maxlen=capacity)
+        self.captured = 0
+        self._installed = False
+        self._original_deliver: Optional[Callable] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def install(self) -> None:
+        """Start capturing (wraps the transport's delivery path)."""
+        if self._installed:
+            return
+        self._original_deliver = self.transport._deliver
+
+        def tapped(envelope: Envelope) -> None:
+            try:
+                kind = self.classify(envelope.payload)
+            except Exception:  # classification must never break delivery
+                kind = "unparseable"
+            self._ring.append(TracedMessage(
+                time=self.transport.sim.now, src=envelope.src,
+                dst=envelope.dst, size=len(envelope.payload), kind=kind))
+            self.captured += 1
+            assert self._original_deliver is not None
+            self._original_deliver(envelope)
+
+        self.transport._deliver = tapped  # type: ignore[method-assign]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Stop capturing and restore the transport."""
+        if self._installed and self._original_deliver is not None:
+            self.transport._deliver = (  # type: ignore[method-assign]
+                self._original_deliver)
+            self._installed = False
+
+    def __enter__(self) -> "TransportTrace":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- queries ---------------------------------------------------------------
+    def messages(self) -> List[TracedMessage]:
+        """Captured messages, oldest first (bounded by capacity)."""
+        return list(self._ring)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Message counts per classification."""
+        return dict(Counter(message.kind for message in self._ring))
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Payload bytes per classification."""
+        totals: Counter = Counter()
+        for message in self._ring:
+            totals[message.kind] += message.size
+        return dict(totals)
+
+    def total_bytes(self) -> int:
+        """All captured payload bytes."""
+        return sum(message.size for message in self._ring)

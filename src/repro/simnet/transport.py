@@ -1,0 +1,143 @@
+"""Virtual transport: endpoints, links and message delivery.
+
+Protocol layers (Gnutella, OpenFT) exchange *encoded byte payloads* through
+this layer.  Each endpoint registers a delivery callback; ``send`` schedules
+the callback on the receiving endpoint after a latency draw, optionally
+dropping the message to model loss.  Endpoints correspond to hosts; a
+dropped endpoint (peer went offline) silently swallows traffic, exactly as
+a closed TCP connection would from the sender's point of view once the
+kernel notices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .kernel import Simulator
+from .rng import SeededStream
+
+__all__ = ["LatencyModel", "Envelope", "Endpoint", "Transport"]
+
+
+@dataclass
+class LatencyModel:
+    """One-way delay model: base propagation plus per-byte serialization.
+
+    Defaults approximate 2006 broadband: tens of milliseconds propagation,
+    ~1 Mbit/s effective upstream (Gnutella's dominant host class was cable
+    or DSL).
+    """
+
+    base_min_s: float = 0.020
+    base_max_s: float = 0.180
+    bytes_per_second: float = 125_000.0
+
+    def delay(self, stream: SeededStream, size_bytes: int) -> float:
+        """Draw a one-way delay for a message of ``size_bytes``."""
+        propagation = stream.uniform(self.base_min_s, self.base_max_s)
+        serialization = size_bytes / self.bytes_per_second
+        return propagation + serialization
+
+
+@dataclass
+class Envelope:
+    """A message in flight between two endpoints."""
+
+    src: str
+    dst: str
+    payload: bytes
+    sent_at: float
+
+
+@dataclass
+class Endpoint:
+    """A host's attachment to the virtual network."""
+
+    endpoint_id: str
+    on_message: Callable[[Envelope], None]
+    online: bool = True
+    received: int = field(default=0, compare=False)
+    sent: int = field(default=0, compare=False)
+
+
+class Transport:
+    """Message fabric connecting all endpoints of one simulated overlay."""
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+                 loss_rate: float = 0.0) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._stream = sim.stream("transport")
+        self.delivered = 0
+        self.dropped = 0
+
+    # -- endpoint lifecycle -------------------------------------------------
+    def attach(self, endpoint_id: str,
+               on_message: Callable[[Envelope], None]) -> Endpoint:
+        """Register a host; re-attaching an id is a logic error."""
+        if endpoint_id in self._endpoints:
+            raise ValueError(f"endpoint {endpoint_id!r} already attached")
+        endpoint = Endpoint(endpoint_id=endpoint_id, on_message=on_message)
+        self._endpoints[endpoint_id] = endpoint
+        return endpoint
+
+    def detach(self, endpoint_id: str) -> None:
+        """Remove a host entirely (end of simulation lifetime)."""
+        self._endpoints.pop(endpoint_id, None)
+
+    def set_online(self, endpoint_id: str, online: bool) -> None:
+        """Toggle a host's session state (churn hooks call this)."""
+        endpoint = self._endpoints.get(endpoint_id)
+        if endpoint is not None:
+            endpoint.online = online
+
+    def is_online(self, endpoint_id: str) -> bool:
+        """True when the endpoint exists and its session is up."""
+        endpoint = self._endpoints.get(endpoint_id)
+        return endpoint is not None and endpoint.online
+
+    def endpoint(self, endpoint_id: str) -> Optional[Endpoint]:
+        """Look up an endpoint by id."""
+        return self._endpoints.get(endpoint_id)
+
+    # -- sending --------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: bytes) -> bool:
+        """Queue ``payload`` for delivery from ``src`` to ``dst``.
+
+        Returns False when the message was dropped up-front (offline sender,
+        unknown destination, or random loss).  A destination that goes
+        offline while the message is in flight also loses it, checked at
+        delivery time.
+        """
+        sender = self._endpoints.get(src)
+        if sender is None or not sender.online:
+            self.dropped += 1
+            return False
+        if dst not in self._endpoints:
+            self.dropped += 1
+            return False
+        if self.loss_rate and self._stream.bernoulli(self.loss_rate):
+            self.dropped += 1
+            return False
+
+        sender.sent += 1
+        envelope = Envelope(src=src, dst=dst, payload=payload,
+                            sent_at=self.sim.now)
+        delay = self.latency.delay(self._stream, len(payload))
+        self.sim.after(delay, lambda: self._deliver(envelope),
+                       label=f"deliver:{src}->{dst}")
+        return True
+
+    def _deliver(self, envelope: Envelope) -> None:
+        receiver = self._endpoints.get(envelope.dst)
+        if receiver is None or not receiver.online:
+            self.dropped += 1
+            return
+        receiver.received += 1
+        self.delivered += 1
+        receiver.on_message(envelope)

@@ -1,0 +1,12 @@
+"""HTTP transfer substrate: the download path of both networks."""
+
+from .http import (HttpError, HttpRequest, HttpResponse,
+                   gnutella_index_request, gnutella_urn_request,
+                   openft_request)
+from .server import busy, not_found, parse_target, serve_request
+
+__all__ = [
+    "HttpError", "HttpRequest", "HttpResponse",
+    "gnutella_index_request", "gnutella_urn_request", "openft_request",
+    "busy", "not_found", "parse_target", "serve_request",
+]

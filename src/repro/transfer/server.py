@@ -1,0 +1,89 @@
+"""Responder-side HTTP serving for both networks.
+
+Given a parsed :class:`HttpRequest` and the serving host's state, produce
+the response head (and the blob standing in for the body).  Status codes
+follow servent behaviour: 200 with content headers on success, 404 when
+the content is not shared, 503 when the host's upload slots are busy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+from urllib.parse import unquote
+
+from ..files.payload import Blob
+from .http import HttpError, HttpRequest, HttpResponse
+
+__all__ = ["ContentResolver", "serve_request", "not_found", "busy"]
+
+#: Callable that maps a content identity to a blob, or None.
+ContentResolver = "Callable[[str], Optional[Blob]]"
+
+
+def not_found() -> HttpResponse:
+    """The 404 head a servent returns for unshared content."""
+    return HttpResponse(status=404, reason="Not Found",
+                        headers={"Connection": "close"})
+
+
+def busy(retry_after_s: int = 60) -> HttpResponse:
+    """The 503 head a fully-loaded servent returns."""
+    return HttpResponse(status=503, reason="Busy",
+                        headers={"Retry-After": str(retry_after_s)})
+
+
+def _success(blob: Blob, content_id_header: Tuple[str, str],
+             server: str) -> HttpResponse:
+    name, value = content_id_header
+    return HttpResponse(status=200, reason="OK", headers={
+        "Server": server,
+        "Content-Type": "application/binary",
+        "Content-Length": str(blob.size),
+        name: value,
+    })
+
+
+def parse_target(request: HttpRequest) -> Tuple[str, str]:
+    """Classify a request target.
+
+    Returns ``(kind, key)`` where kind is ``"urn"`` (Gnutella HUGE),
+    ``"index"`` (Gnutella /get), or ``"md5"`` (OpenFT).
+    """
+    target = request.target
+    if target.startswith("/uri-res/N2R?"):
+        return "urn", target[len("/uri-res/N2R?"):]
+    if target.startswith("/get/"):
+        remainder = target[len("/get/"):]
+        index, separator, filename = remainder.partition("/")
+        if not separator or not index.isdigit():
+            raise HttpError(f"malformed /get target {target!r}")
+        return "index", unquote(filename)
+    if target.startswith("/?md5="):
+        return "md5", target[len("/?md5="):]
+    raise HttpError(f"unrecognized download target {target!r}")
+
+
+def serve_request(request: HttpRequest, resolve, is_busy: bool = False,
+                  server: str = "LimeWire/4.12.3") -> Tuple[HttpResponse,
+                                                            Optional[Blob]]:
+    """Produce the response for one download request.
+
+    ``resolve`` maps the parsed content key (urn / md5 / filename) to a
+    blob or None.  The caller supplies availability (``is_busy``).
+    """
+    if request.method != "GET":
+        return HttpResponse(status=405, reason="Method Not Allowed"), None
+    try:
+        kind, key = parse_target(request)
+    except HttpError:
+        return HttpResponse(status=400, reason="Bad Request"), None
+    if is_busy:
+        return busy(), None
+    blob = resolve(key)
+    if blob is None:
+        return not_found(), None
+    if kind == "md5":
+        header = ("X-OpenftHash", f"md5:{blob.md5_hex()}")
+    else:
+        header = ("X-Gnutella-Content-URN", blob.sha1_urn())
+    return _success(blob, header, server), blob

@@ -1,0 +1,63 @@
+"""Fixtures and builders for core-layer tests."""
+
+import pytest
+
+from repro.core.measure.records import ResponseRecord
+from repro.core.measure.store import MeasurementStore
+
+
+def make_record(network="limewire", time=100.0, query="q",
+                host="8.8.8.8", port=6346, key=None, filename="file.exe",
+                size=1000, content_id="urn:sha1:X", downloaded=True,
+                malware=None):
+    """A response record with sensible defaults for analysis tests."""
+    record = ResponseRecord(
+        network=network, time=time, query=query, responder_host=host,
+        responder_port=port, responder_key=key or f"{host}:{port}",
+        filename=filename, size=size, content_id=content_id,
+    )
+    record.download_attempted = True
+    record.downloaded = downloaded
+    record.malware_name = malware
+    return record
+
+
+@pytest.fixture()
+def synthetic_store():
+    """A hand-built store with exactly known composition.
+
+    10 downloadable archive/exe responses: 6 malicious (4x WormA at size
+    1000 from 3 hosts incl. one private, 2x WormB at sizes 2000/2001) and
+    4 clean; plus 1 failed download and 1 mp3 that do not count.
+    """
+    store = MeasurementStore("limewire")
+    store.note_query()
+    store.note_query()
+    rows = [
+        make_record(filename="a1.exe", size=1000, host="1.1.1.1",
+                    content_id="u:a", malware="WormA"),
+        make_record(filename="a2.exe", size=1000, host="1.1.1.1",
+                    content_id="u:a", malware="WormA", time=90_000.0),
+        make_record(filename="a3.exe", size=1000, host="2.2.2.2",
+                    content_id="u:a", malware="WormA"),
+        make_record(filename="a4.exe", size=1000, host="192.168.0.5",
+                    content_id="u:a", malware="WormA"),
+        make_record(filename="b1.zip", size=2000, host="3.3.3.3",
+                    content_id="u:b1", malware="WormB"),
+        make_record(filename="b2.zip", size=2001, host="3.3.3.3",
+                    content_id="u:b2", malware="WormB"),
+        make_record(filename="c1.zip", size=5000, host="4.4.4.4",
+                    content_id="u:c1"),
+        make_record(filename="c2.zip", size=2000, host="4.4.4.4",
+                    content_id="u:c2"),  # clean at a malware size!
+        make_record(filename="c3.exe", size=7000, host="5.5.5.5",
+                    content_id="u:c3", time=90_000.0),
+        make_record(filename="c4.exe", size=8000, host="5.5.5.5",
+                    content_id="u:c4"),
+        make_record(filename="failed.exe", size=9000, host="6.6.6.6",
+                    content_id="u:f", downloaded=False),
+        make_record(filename="song.mp3", size=4_000_000, host="7.7.7.7",
+                    content_id="u:m"),
+    ]
+    store.extend(rows)
+    return store

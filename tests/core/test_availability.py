@@ -1,0 +1,48 @@
+"""Tests for the availability extension analysis."""
+
+from repro.core.analysis.availability import availability_breakdown
+from repro.core.measure.store import MeasurementStore
+
+from .conftest import make_record
+
+
+class TestSynthetic:
+    def test_exact_split(self):
+        store = MeasurementStore("limewire")
+        natted = make_record(host="192.168.1.4", downloaded=False)
+        public_ok = make_record(host="9.9.9.9", downloaded=True)
+        public_fail = make_record(host="9.9.9.8", downloaded=False)
+        store.extend([natted, public_ok, public_fail])
+        rows = {row.responder_class: row
+                for row in availability_breakdown(store)}
+        assert rows["natted"].responses == 1
+        assert rows["natted"].downloaded == 0
+        assert rows["public"].responses == 2
+        assert rows["public"].downloaded == 1
+        assert rows["public"].success_rate == 0.5
+
+    def test_push_flag_classifies_public_address(self):
+        store = MeasurementStore("limewire")
+        record = make_record(host="9.9.9.9")
+        record.push_needed = True
+        store.add(record)
+        rows = {row.responder_class: row
+                for row in availability_breakdown(store)}
+        assert rows["natted"].responses == 1
+
+
+class TestOnCampaign:
+    def test_totals_match(self, limewire_campaign):
+        rows = availability_breakdown(limewire_campaign.store)
+        assert sum(row.responses for row in rows) == len(
+            limewire_campaign.store)
+
+    def test_both_classes_mostly_downloadable(self, limewire_campaign):
+        rows = {row.responder_class: row
+                for row in availability_breakdown(limewire_campaign.store)}
+        # PUSH through server-like ultrapeers succeeds most of the time,
+        # so NATed hosts are downloadable too -- just a bit less reliably
+        assert rows["natted"].success_rate > 0.7
+        assert rows["public"].success_rate > 0.9
+        assert (rows["public"].success_rate
+                >= rows["natted"].success_rate - 0.02)

@@ -1,0 +1,39 @@
+"""Tests for the behaviour-class breakdown."""
+
+import pytest
+
+from repro.core.analysis.behaviours import behaviour_breakdown
+from repro.malware.corpus import limewire_strains, openft_strains
+
+
+class TestBehaviourBreakdown:
+    def test_limewire_is_an_echo_epidemic(self, limewire_campaign):
+        rows = behaviour_breakdown(limewire_campaign.store,
+                                   limewire_strains())
+        by_behaviour = {row.behaviour: row for row in rows}
+        assert by_behaviour["query_echo"].share > 0.8
+        assert "unknown" not in by_behaviour
+
+    def test_openft_is_a_shared_folder_epidemic(self, openft_campaign):
+        rows = behaviour_breakdown(openft_campaign.store, openft_strains())
+        by_behaviour = {row.behaviour: row for row in rows}
+        assert "query_echo" not in by_behaviour
+        assert by_behaviour["share_infector"].share > 0.5
+
+    def test_shares_sum_to_one(self, limewire_campaign):
+        rows = behaviour_breakdown(limewire_campaign.store,
+                                   limewire_strains())
+        assert sum(row.share for row in rows) == pytest.approx(1.0)
+
+    def test_unknown_bucket(self, limewire_campaign):
+        # scanning names won't match the OpenFT corpus' strain list only
+        # partially; mismatched names land in "unknown"
+        rows = behaviour_breakdown(limewire_campaign.store, [])
+        assert len(rows) == 1
+        assert rows[0].behaviour == "unknown"
+        assert rows[0].share == pytest.approx(1.0)
+
+    def test_empty_store(self):
+        from repro.core.measure.store import MeasurementStore
+        assert behaviour_breakdown(MeasurementStore("limewire"),
+                                   limewire_strains()) == []

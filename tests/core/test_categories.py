@@ -1,0 +1,55 @@
+"""Tests for the query-category extension analysis."""
+
+from repro.core.analysis.categories import (category_breakdown,
+                                            categorize_queries)
+
+
+class TestCategorize:
+    def test_every_query_mapped(self, limewire_campaign):
+        store = limewire_campaign.store
+        catalog = limewire_campaign.world.catalog
+        mapping = categorize_queries(store, catalog)
+        queries = {record.query for record in store}
+        assert set(mapping) == queries
+
+    def test_evergreen_recognized(self, limewire_campaign):
+        mapping = categorize_queries(limewire_campaign.store,
+                                     limewire_campaign.world.catalog)
+        evergreen = [query for query, category in mapping.items()
+                     if category == "evergreen"]
+        assert evergreen  # the workload includes the bait strings
+
+    def test_media_categories_present(self, limewire_campaign):
+        mapping = categorize_queries(limewire_campaign.store,
+                                     limewire_campaign.world.catalog)
+        assert "audio" in set(mapping.values())
+
+
+class TestBreakdown:
+    def test_totals_match_store(self, limewire_campaign):
+        rows = category_breakdown(limewire_campaign.store,
+                                  limewire_campaign.world.catalog)
+        assert sum(row.responses for row in rows) == len(
+            limewire_campaign.store)
+        assert sum(row.malicious for row in rows) == len(
+            limewire_campaign.store.malicious_responses())
+
+    def test_media_queries_attract_nearly_pure_malware(self,
+                                                       limewire_campaign):
+        """The paper's mechanism: an archive/exe response to a *music*
+        query can only be an echo worm, so that category's malicious
+        share is ~100%."""
+        rows = category_breakdown(limewire_campaign.store,
+                                  limewire_campaign.world.catalog)
+        audio = next(row for row in rows if row.category == "audio")
+        assert audio.downloadable > 50
+        assert audio.malicious_share > 0.95
+
+    def test_software_queries_mixed(self, limewire_campaign):
+        rows = category_breakdown(limewire_campaign.store,
+                                  limewire_campaign.world.catalog)
+        software = [row for row in rows
+                    if row.category in ("archive", "executable")]
+        assert software
+        for row in software:
+            assert row.malicious_share < 0.9  # clean results exist here

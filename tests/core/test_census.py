@@ -1,0 +1,55 @@
+"""Tests for the sample census and host turnover analyses."""
+
+from repro.core.analysis.census import new_hosts_per_day, sample_census
+from repro.core.measure.store import MeasurementStore
+
+from .conftest import make_record
+
+
+class TestSampleCensus:
+    def test_exact_on_synthetic(self, synthetic_store):
+        samples = sample_census(synthetic_store)
+        by_id = {sample.content_id: sample for sample in samples}
+        # WormA is one content served from three hosts
+        assert by_id["u:a"].responses == 4
+        assert by_id["u:a"].hosts == 3
+        assert by_id["u:a"].malware_name == "WormA"
+        # WormB has two distinct bodies
+        assert by_id["u:b1"].responses == 1
+        assert len(samples) == 3
+
+    def test_ordering_by_responses(self, synthetic_store):
+        samples = sample_census(synthetic_store)
+        counts = [sample.responses for sample in samples]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_few_samples_behind_many_responses(self, limewire_campaign):
+        """The abstract's claim: very few distinct malware."""
+        store = limewire_campaign.store
+        samples = sample_census(store)
+        malicious = len(store.malicious_responses())
+        assert malicious > 1000
+        assert len(samples) <= 20  # thousands of responses, ~dozen bodies
+        # and the biggest sample alone covers a large share
+        assert samples[0].responses > malicious * 0.3
+
+    def test_empty(self):
+        assert sample_census(MeasurementStore("limewire")) == []
+
+
+class TestNewHostsPerDay:
+    def test_exact_on_synthetic(self, synthetic_store):
+        series = new_hosts_per_day(synthetic_store)
+        # day 0: hosts 1.1.1.1, 2.2.2.2, 192.168.0.5, 3.3.3.3 serve
+        # malware; day 1: 1.1.1.1 again (not new)
+        assert series == [4, 0]
+
+    def test_counts_only_first_sighting(self):
+        store = MeasurementStore("limewire")
+        store.add(make_record(host="1.1.1.1", time=10.0, malware="X"))
+        store.add(make_record(host="1.1.1.1", time=90_000.0, malware="X"))
+        store.add(make_record(host="2.2.2.2", time=90_001.0, malware="X"))
+        assert new_hosts_per_day(store) == [1, 1]
+
+    def test_empty(self):
+        assert new_hosts_per_day(MeasurementStore("limewire")) == []

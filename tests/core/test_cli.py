@@ -1,0 +1,92 @@
+"""Tests for the repro-study CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def saved_store(tmp_path_factory):
+    """A tiny campaign saved to disk once for all CLI tests."""
+    out = tmp_path_factory.mktemp("cli")
+    code = main(["run", "--network", "limewire", "--days", "0.1",
+                 "--seed", "5", "--out", str(out)])
+    assert code == 0
+    return out / "limewire.jsonl"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.network == "both"
+        assert args.days == 1.0
+
+    def test_invalid_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--network", "kazaa"])
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "x.jsonl",
+                                       "--table", "t99"])
+
+
+class TestRun:
+    def test_creates_store_file(self, saved_store):
+        assert saved_store.exists()
+        first_line = saved_store.read_text().splitlines()[0]
+        assert "limewire" in first_line
+
+
+class TestAnalyze:
+    def test_all_tables(self, saved_store, capsys):
+        code = main(["analyze", str(saved_store)])
+        assert code == 0
+        output = capsys.readouterr().out
+        for marker in ("T1", "T2", "T3", "T5", "T6", "F1", "F3"):
+            assert marker in output
+
+    def test_single_table(self, saved_store, capsys):
+        code = main(["analyze", str(saved_store), "--table", "t2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "T2" in output
+        assert "T3" not in output
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_writes_csvs(self, saved_store, tmp_path, capsys):
+        out = tmp_path / "csv"
+        code = main(["export", str(saved_store), "--out", str(out)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "t2:" in output
+        assert (out / "limewire_t2.csv").exists()
+        assert (out / "limewire_f1.csv").exists()
+
+    def test_missing_store_errors(self, tmp_path):
+        code = main(["export", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+
+
+class TestFilterEval:
+    def test_prints_comparison(self, saved_store, capsys):
+        code = main(["filter-eval", str(saved_store)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "existing-limewire" in output
+        assert "size-based" in output
+        assert "size dictionary" in output
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        code = main(["filter-eval", str(tmp_path / "nope.jsonl")])
+        assert code == 2

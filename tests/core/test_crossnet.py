@@ -1,0 +1,36 @@
+"""Tests for the cross-network comparison."""
+
+import pytest
+
+from repro.core.analysis.crossnet import compare_networks
+
+
+class TestCompareNetworks:
+    @pytest.fixture(scope="class")
+    def comparison(self, limewire_campaign, openft_campaign):
+        return compare_networks(limewire_campaign.store,
+                                openft_campaign.store)
+
+    def test_networks_labelled(self, comparison):
+        assert comparison.network_a == "limewire"
+        assert comparison.network_b == "openft"
+
+    def test_prevalence_ordering(self, comparison):
+        assert comparison.prevalence_a > 5 * comparison.prevalence_b
+
+    def test_strains_shared_across_ecosystems(self, comparison):
+        # Kapucen/SdDrop/Istbar/Zlob circulate in both corpora
+        assert len(comparison.shared_strains) >= 2
+        assert comparison.exclusive_a  # echo worms are Limewire-only
+        assert "W32.Gnuman.A" in comparison.exclusive_a
+        assert "W32.Duel.A" in comparison.exclusive_b
+
+    def test_partition(self, comparison):
+        assert (comparison.shared_strains | comparison.exclusive_a
+                == comparison.strains_a)
+        assert not (comparison.exclusive_a & comparison.exclusive_b)
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "limewire vs openft" in text
+        assert "shared" in text

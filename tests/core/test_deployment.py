@@ -1,0 +1,44 @@
+"""Tests for the filter deployment extension."""
+
+import pytest
+
+from repro.core.filtering.deployment import (DeploymentReport,
+                                             simulate_deployment)
+from repro.core.filtering.sizefilter import SizeBasedFilter
+
+
+class TestSimulateDeployment:
+    def test_exact_numbers_on_synthetic(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=2)
+        report = simulate_deployment(size_filter, synthetic_store)
+        assert report.malicious_before == 6
+        assert report.malicious_after == 0
+        assert report.clean_before == 4
+        assert report.clean_after == 3  # one clean zip shares a worm size
+        assert report.exposure_reduction == pytest.approx(1.0)
+        assert report.collateral_loss == pytest.approx(0.25)
+
+    def test_residual_risk(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=1)
+        report = simulate_deployment(size_filter, synthetic_store)
+        # WormA blocked (4), WormB survives (2); clean survive (4)
+        assert report.residual_risk_before == pytest.approx(0.6)
+        assert report.residual_risk_after == pytest.approx(2 / 6)
+
+    def test_on_real_campaign(self, limewire_campaign):
+        size_filter = SizeBasedFilter.learn(limewire_campaign.store)
+        report = simulate_deployment(size_filter, limewire_campaign.store)
+        assert report.exposure_reduction >= 0.99
+        assert report.collateral_loss <= 0.01
+        # before: users download malware 2 of 3 times; after: almost never
+        assert report.residual_risk_before > 0.5
+        assert report.residual_risk_after < 0.05
+
+    def test_empty_report_properties(self):
+        report = DeploymentReport(filter_name="f", network="limewire",
+                                  malicious_before=0, malicious_after=0,
+                                  clean_before=0, clean_after=0)
+        assert report.exposure_reduction == 0.0
+        assert report.collateral_loss == 0.0
+        assert report.residual_risk_before == 0.0
+        assert report.residual_risk_after == 0.0

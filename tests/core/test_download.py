@@ -1,0 +1,110 @@
+"""Tests for the downloader."""
+
+import pytest
+
+from repro.core.measure.download import Downloader, DownloadPolicy
+from repro.files.payload import Blob
+from repro.malware.corpus import limewire_strains
+from repro.malware.infection import strain_body_blob
+from repro.scanner.database import database_for_strains
+from repro.scanner.engine import ScanEngine
+
+from .conftest import make_record
+
+
+@pytest.fixture()
+def engine():
+    return ScanEngine(database_for_strains(limewire_strains()))
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DownloadPolicy(delay_min_s=-1.0)
+        with pytest.raises(ValueError):
+            DownloadPolicy(delay_min_s=10.0, delay_max_s=1.0)
+        with pytest.raises(ValueError):
+            DownloadPolicy(retries=-1)
+
+
+class TestDownloader:
+    def test_successful_download_and_clean_scan(self, sim, engine):
+        downloader = Downloader(sim, engine)
+        record = make_record(downloaded=False)
+        record.download_attempted = False
+        blob = Blob(content_key="clean", extension="exe", size=1000)
+        downloader.enqueue(record, lambda: blob)
+        sim.run_until(300.0)
+        assert record.download_attempted
+        assert record.downloaded
+        assert record.malware_name is None
+
+    def test_malware_scan_annotates(self, sim, engine):
+        downloader = Downloader(sim, engine)
+        strain = limewire_strains()[0]
+        record = make_record(downloaded=False)
+        downloader.enqueue(record, lambda: strain_body_blob(strain))
+        sim.run_until(300.0)
+        assert record.malware_name == strain.av_name
+
+    def test_failed_fetch_leaves_undownloaded(self, sim, engine):
+        downloader = Downloader(sim, engine,
+                                DownloadPolicy(retries=0))
+        record = make_record(downloaded=False)
+        downloader.enqueue(record, lambda: None)
+        sim.run_until(10_000.0)
+        assert record.download_attempted
+        assert not record.downloaded
+
+    def test_retry_succeeds_later(self, sim, engine):
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(retries=1, retry_gap_s=100.0))
+        attempts = []
+        blob = Blob(content_key="x", extension="exe", size=1)
+
+        def flaky_fetch():
+            attempts.append(sim.now)
+            return blob if len(attempts) > 1 else None
+
+        record = make_record(downloaded=False)
+        downloader.enqueue(record, flaky_fetch)
+        sim.run_until(10_000.0)
+        assert len(attempts) == 2
+        assert record.downloaded
+
+    def test_retries_bounded(self, sim, engine):
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(retries=2, retry_gap_s=10.0))
+        attempts = []
+
+        def always_fail():
+            attempts.append(sim.now)
+            return None
+
+        downloader.enqueue(make_record(downloaded=False), always_fail)
+        sim.run_until(10_000.0)
+        assert len(attempts) == 3  # initial + 2 retries
+
+    def test_verdict_cache_scans_once_per_content(self, sim, engine):
+        downloader = Downloader(sim, engine)
+        blob = Blob(content_key="same", extension="exe", size=1)
+        for _ in range(5):
+            record = make_record(downloaded=False, content_id="u:same")
+            downloader.enqueue(record, lambda: blob)
+        sim.run_until(1_000.0)
+        assert engine.scans_performed == 1
+        assert downloader.successes == 5
+
+    def test_delay_is_applied(self, sim, engine):
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(delay_min_s=50.0, delay_max_s=60.0))
+        fetched_at = []
+        blob = Blob(content_key="t", extension="exe", size=1)
+
+        def fetch():
+            fetched_at.append(sim.now)
+            return blob
+
+        downloader.enqueue(make_record(downloaded=False), fetch)
+        sim.run_until(1_000.0)
+        assert 50.0 <= fetched_at[0] <= 60.0

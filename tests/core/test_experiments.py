@@ -1,0 +1,51 @@
+"""Tests for the multi-seed experiment runner."""
+
+import pytest
+
+from repro.core.experiments import (HEADLINE_METRICS, MetricSummary,
+                                    run_replications)
+from repro.core.measure.campaign import CampaignConfig
+from repro.peers.profiles import GnutellaProfile
+
+
+class TestMetricSummary:
+    def test_aggregates(self):
+        summary = MetricSummary(name="x", values=(0.6, 0.7, 0.8))
+        assert summary.mean == pytest.approx(0.7)
+        assert summary.low == 0.6
+        assert summary.high == 0.8
+        assert summary.within(0.5, 0.9)
+        assert not summary.within(0.65, 0.9)
+
+    def test_empty(self):
+        summary = MetricSummary(name="x", values=())
+        assert summary.mean == 0.0
+
+
+class TestRunReplications:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # two tiny replications of a scaled-down world
+        return run_replications(
+            "limewire", seeds=(3, 4),
+            config=CampaignConfig(seed=0, duration_days=0.25),
+            profile=GnutellaProfile().scaled(0.5))
+
+    def test_all_metrics_present(self, report):
+        assert set(report.metrics) == set(HEADLINE_METRICS["limewire"])
+        for summary in report.metrics.values():
+            assert len(summary.values) == 2
+
+    def test_prevalence_band_across_seeds(self, report):
+        assert report.metrics["prevalence"].within(0.45, 0.90)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "limewire" in text
+        assert "prevalence" in text
+        assert "%" in text
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            run_replications("kazaa", seeds=(1,),
+                             config=CampaignConfig())

@@ -1,0 +1,62 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.core.export import EXPORTERS, export_all
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportAll:
+    def test_writes_every_experiment(self, synthetic_store, tmp_path):
+        written = export_all(synthetic_store, tmp_path)
+        assert set(written) == set(EXPORTERS)
+        for path in written.values():
+            assert path.exists()
+            rows = read_csv(path)
+            assert len(rows) >= 1  # at least the header
+
+    def test_t2_contents(self, synthetic_store, tmp_path):
+        written = export_all(synthetic_store, tmp_path)
+        rows = read_csv(written["t2"])
+        header, data = rows[0], rows[1:]
+        assert header == ["network", "type", "downloadable", "malicious",
+                          "prevalence"]
+        all_row = next(row for row in data if row[1] == "all")
+        assert all_row[2] == "10"
+        assert all_row[3] == "6"
+        assert float(all_row[4]) == pytest.approx(0.6)
+
+    def test_t3_contents(self, synthetic_store, tmp_path):
+        written = export_all(synthetic_store, tmp_path)
+        rows = read_csv(written["t3"])
+        assert rows[1][1] == "WormA"
+        assert rows[1][2] == "4"
+
+    def test_f1_monotone(self, synthetic_store, tmp_path):
+        written = export_all(synthetic_store, tmp_path)
+        rows = read_csv(written["f1"])[1:]
+        values = [float(row[1]) for row in rows]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_f3_days(self, synthetic_store, tmp_path):
+        written = export_all(synthetic_store, tmp_path)
+        rows = read_csv(written["f3"])[1:]
+        assert [row[0] for row in rows] == ["0", "1"]
+
+    def test_t6_dictionary_flags(self, synthetic_store, tmp_path):
+        written = export_all(synthetic_store, tmp_path)
+        rows = read_csv(written["t6"])[1:]
+        by_strain_size = {(row[0], row[1]): row[3] for row in rows}
+        assert by_strain_size[("WormA", "1000")] == "True"
+
+    def test_directory_created(self, synthetic_store, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        written = export_all(synthetic_store, target)
+        assert all(path.parent == target for path in written.values())

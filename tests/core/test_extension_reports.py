@@ -1,0 +1,40 @@
+"""Tests for the extension renderers (X1-X4)."""
+
+from repro.core import reports
+
+
+class TestExtensionRenderers:
+    def test_x1_sample_census(self, synthetic_store):
+        text = reports.render_x1_sample_census(synthetic_store)
+        assert "X1" in text
+        assert "WormA" in text
+        assert "3 distinct samples" in text
+
+    def test_x2_availability(self, synthetic_store):
+        text = reports.render_x2_availability(synthetic_store)
+        assert "X2" in text
+        assert "natted" in text
+        assert "public" in text
+
+    def test_x3_vendors(self, synthetic_store):
+        text = reports.render_x3_vendors(synthetic_store)
+        assert "X3" in text
+        assert "????" in text  # synthetic records carry no vendor
+
+    def test_x4_deployment(self, synthetic_store):
+        text = reports.render_x4_deployment(synthetic_store)
+        assert "X4" in text
+        assert "exposure reduction" in text
+        assert "residual risk" in text
+
+    def test_cli_analyze_includes_extensions(self, synthetic_store,
+                                             tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "store.jsonl"
+        synthetic_store.save(path)
+        assert main(["analyze", str(path), "--table", "x1"]) == 0
+        assert "X1" in capsys.readouterr().out
+        assert main(["analyze", str(path)]) == 0
+        output = capsys.readouterr().out
+        for marker in ("X1", "X2", "X3", "X4"):
+            assert marker in output

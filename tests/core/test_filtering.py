@@ -1,0 +1,107 @@
+"""Tests for the filtering layer (exact values on the synthetic store)."""
+
+import pytest
+
+from repro.core.filtering.base import FilterReport
+from repro.core.filtering.evaluate import evaluate_filter, evaluate_filters
+from repro.core.filtering.existing import ExistingLimewireFilter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+from repro.core.measure.store import MeasurementStore
+from repro.malware.corpus import limewire_strains
+from repro.malware.infection import strain_body_blob
+
+from .conftest import make_record
+
+
+class TestSizeBasedFilter:
+    def test_learn_blocks_top_sizes(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=2)
+        assert size_filter.blocked_sizes == frozenset({1000, 2000, 2001})
+
+    def test_blocks_only_downloadable_types(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=2)
+        assert size_filter.blocks(make_record(filename="x.exe", size=1000))
+        assert not size_filter.blocks(
+            make_record(filename="x.mp3", size=1000))
+        assert not size_filter.blocks(
+            make_record(filename="x.exe", size=999))
+
+    def test_evaluation_exact(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=2)
+        report = evaluate_filter(size_filter, synthetic_store)
+        assert report.malicious_total == 6
+        assert report.malicious_blocked == 6
+        assert report.detection_rate == pytest.approx(1.0)
+        # one clean zip sits at a blocked size -> exactly one false positive
+        assert report.clean_blocked == 1
+        assert report.false_positive_rate == pytest.approx(1 / 4)
+
+    def test_learn_top1_misses_wormb(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=1)
+        report = evaluate_filter(size_filter, synthetic_store)
+        assert report.malicious_blocked == 4
+        assert report.detection_rate == pytest.approx(4 / 6)
+
+    def test_learn_from_clean_store_fails(self):
+        store = MeasurementStore("limewire")
+        store.add(make_record())
+        with pytest.raises(ValueError):
+            SizeBasedFilter.learn(store)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SizeBasedFilter(blocked_sizes=())
+
+    def test_len(self, synthetic_store):
+        assert len(SizeBasedFilter.learn(synthetic_store, top_n=2)) == 3
+
+
+class TestExistingFilter:
+    def test_blocks_by_content_id(self):
+        existing = ExistingLimewireFilter(blocked_content_ids={"u:bad"})
+        assert existing.blocks(make_record(content_id="u:bad"))
+        assert not existing.blocks(make_record(content_id="u:good"))
+
+    def test_blocks_by_junk_keyword(self):
+        existing = ExistingLimewireFilter(blocked_content_ids=set())
+        assert existing.blocks(make_record(filename="mandragore_copy.exe"))
+        assert not existing.blocks(make_record(filename="normal_file.exe"))
+
+    def test_stale_blocklist_misses_current_top_bodies(self):
+        strains = limewire_strains()
+        existing = ExistingLimewireFilter.stale_blocklist(
+            strains, unknown_top_variants=3)
+        top_body = strain_body_blob(strains[0], 0)
+        assert not existing.blocks(
+            make_record(content_id=top_body.sha1_urn(),
+                        size=top_body.size))
+
+    def test_stale_blocklist_catches_old_variant(self):
+        strains = limewire_strains()
+        existing = ExistingLimewireFilter.stale_blocklist(
+            strains, unknown_top_variants=3)
+        # strain B's secondary variant is on the list
+        old_variant = strain_body_blob(strains[1], 1)
+        assert existing.blocks(make_record(content_id=old_variant.sha1_urn()))
+
+    def test_stale_blocklist_catches_tail_strains(self):
+        strains = limewire_strains()
+        existing = ExistingLimewireFilter.stale_blocklist(strains)
+        tail_body = strain_body_blob(strains[-1], 0)
+        assert existing.blocks(make_record(content_id=tail_body.sha1_urn()))
+
+
+class TestEvaluate:
+    def test_evaluate_filters_order(self, synthetic_store):
+        filters = [ExistingLimewireFilter(blocked_content_ids=set()),
+                   SizeBasedFilter.learn(synthetic_store, top_n=2)]
+        reports = evaluate_filters(filters, synthetic_store)
+        assert [report.filter_name for report in reports] == [
+            "existing-limewire", "size-based"]
+
+    def test_report_rates_on_empty(self):
+        report = FilterReport(filter_name="f", network="limewire",
+                              malicious_total=0, malicious_blocked=0,
+                              clean_total=0, clean_blocked=0)
+        assert report.detection_rate == 0.0
+        assert report.false_positive_rate == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the latency analysis."""
+
+import pytest
+
+from repro.core.analysis.latency import latency_summary
+from repro.core.measure.store import MeasurementStore
+
+from .conftest import make_record
+
+
+class TestLatencyField:
+    def test_latency_property(self):
+        record = make_record(time=105.0)
+        record.query_time = 100.0
+        assert record.latency == pytest.approx(5.0)
+
+    def test_unknown_query_time(self):
+        record = make_record(time=105.0)
+        assert record.query_time == -1.0
+        assert record.latency is None
+
+    def test_json_roundtrip_keeps_query_time(self):
+        from repro.core.measure.records import ResponseRecord
+        record = make_record(time=105.0)
+        record.query_time = 100.0
+        assert ResponseRecord.from_json(record.to_json()).latency == 5.0
+
+
+class TestLatencySummary:
+    def test_exact_percentiles(self):
+        store = MeasurementStore("limewire")
+        for index, delay in enumerate([1.0, 2.0, 3.0, 4.0]):
+            record = make_record(time=100.0 + delay,
+                                 content_id=f"u:{index}")
+            record.query_time = 100.0
+            store.add(record)
+        summary = latency_summary(store)
+        assert summary.count == 4
+        assert summary.p50 == pytest.approx(2.5)
+        assert summary.mean == pytest.approx(2.5)
+
+    def test_none_without_query_times(self):
+        store = MeasurementStore("limewire")
+        store.add(make_record())
+        assert latency_summary(store) is None
+
+    def test_on_campaign(self, limewire_campaign):
+        summary = latency_summary(limewire_campaign.store)
+        assert summary is not None
+        assert summary.count > 1000
+        # multi-hop overlay: sub-second medians, bounded tails
+        assert 0.05 < summary.p50 < 5.0
+        assert summary.p99 < 60.0
+        assert summary.p10 <= summary.p50 <= summary.p90 <= summary.p99
+
+    def test_malicious_only(self, limewire_campaign):
+        summary = latency_summary(limewire_campaign.store,
+                                  malicious_only=True)
+        assert summary is not None
+        assert summary.count == len(
+            [r for r in limewire_campaign.store.malicious_responses()
+             if r.latency is not None])
+
+    def test_render(self, limewire_campaign):
+        summary = latency_summary(limewire_campaign.store)
+        text = summary.render("limewire")
+        assert "p50" in text and "limewire" in text

@@ -1,0 +1,77 @@
+"""Tests for the oracle filter and the size-filter learning curve."""
+
+import pytest
+
+from repro.core.filtering.evaluate import evaluate_filter
+from repro.core.filtering.learning import learning_curve
+from repro.core.filtering.oracle import OracleHashFilter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+from repro.core.measure.store import MeasurementStore
+
+from .conftest import make_record
+
+
+class TestOracleHashFilter:
+    def test_blocks_exactly_seen_malicious(self, synthetic_store):
+        oracle = OracleHashFilter.learn(synthetic_store)
+        assert len(oracle) == 3  # WormA body + two WormB bodies
+        report = evaluate_filter(oracle, synthetic_store)
+        assert report.detection_rate == pytest.approx(1.0)
+        assert report.false_positive_rate == 0.0
+
+    def test_misses_unseen_variant(self, synthetic_store):
+        oracle = OracleHashFilter.learn(synthetic_store)
+        fresh_variant = make_record(content_id="u:brand-new",
+                                    malware="WormA")
+        assert not oracle.blocks(fresh_variant)
+
+    def test_on_campaign_matches_size_filter(self, limewire_campaign):
+        store = limewire_campaign.store
+        oracle_report = evaluate_filter(OracleHashFilter.learn(store),
+                                        store)
+        size_report = evaluate_filter(SizeBasedFilter.learn(store), store)
+        assert oracle_report.detection_rate == pytest.approx(1.0)
+        # the four-integer dictionary performs within a point of the
+        # perfect retrospective hash feed
+        assert size_report.detection_rate >= (
+            oracle_report.detection_rate - 0.01)
+
+
+class TestLearningCurve:
+    def make_two_day_store(self):
+        store = MeasurementStore("limewire")
+        # day 0: training data for WormA at size 1000
+        for index in range(5):
+            store.add(make_record(filename=f"a{index}.exe", size=1000,
+                                  content_id="u:a", malware="WormA",
+                                  time=100.0 + index))
+        store.add(make_record(filename="c.exe", size=4000,
+                              content_id="u:c", time=120.0))
+        # day 1: test data -- same worm plus clean
+        for index in range(3):
+            store.add(make_record(filename=f"b{index}.exe", size=1000,
+                                  content_id="u:a", malware="WormA",
+                                  time=90_000.0 + index))
+        store.add(make_record(filename="d.exe", size=5000,
+                              content_id="u:d", time=90_500.0))
+        return store
+
+    def test_single_split(self):
+        points = learning_curve(self.make_two_day_store(), top_n=1)
+        assert len(points) == 1
+        point = points[0]
+        assert point.train_days == 1
+        assert point.train_malicious == 5
+        assert point.dictionary_size == 1
+        assert point.report.detection_rate == pytest.approx(1.0)
+        assert point.report.false_positive_rate == 0.0
+
+    def test_on_campaign_day_zero_is_enough(self, limewire_campaign):
+        points = learning_curve(limewire_campaign.store)
+        if not points:
+            pytest.skip("campaign shorter than two days")
+        first = points[0]
+        assert first.report.detection_rate >= 0.98
+
+    def test_empty_store(self):
+        assert learning_curve(MeasurementStore("limewire")) == []

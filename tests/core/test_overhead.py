@@ -1,0 +1,55 @@
+"""Tests for the protocol-overhead analysis."""
+
+import pytest
+
+from repro.core.analysis.overhead import (classify_gnutella_frame,
+                                          classify_openft_packet,
+                                          overhead_report)
+from repro.gnutella.guid import new_guid
+from repro.gnutella.messages import HitResult, Ping, Query, QueryHit, frame
+from repro.openft.packets import SearchRequest, encode_packet
+from repro.simnet.rng import SeededStream
+from repro.simnet.trace import TransportTrace
+
+GUID = new_guid(SeededStream(1, "g"))
+
+
+class TestClassifiers:
+    def test_gnutella_kinds(self):
+        assert classify_gnutella_frame(
+            frame(GUID, Query(0, "x"), ttl=1)) == "query"
+        assert classify_gnutella_frame(
+            frame(GUID, Ping(), ttl=1)) == "ping"
+        hit = QueryHit(port=1, address="1.2.3.4", speed_kbps=1,
+                       results=(HitResult(1, 10, "a.exe", ""),),
+                       servent_guid=GUID)
+        assert classify_gnutella_frame(
+            frame(GUID, hit, ttl=1)) == "query-hit"
+        assert classify_gnutella_frame(b"short") == "short"
+
+    def test_openft_kinds(self):
+        wire = encode_packet(SearchRequest(search_id=1, ttl=1, query="q"))
+        assert classify_openft_packet(wire) == "search"
+        assert classify_openft_packet(b"\x00") == "short"
+        assert classify_openft_packet(b"\x00\x00\xff\xff") == "other"
+
+
+class TestOverheadOnOverlay:
+    def test_live_capture_composition(self, sim):
+        """Capture a window of real overlay traffic and check that
+        queries and hits dominate the mix."""
+        from tests.gnutella.conftest import SmallWorld
+
+        world = SmallWorld(sim)
+        trace = TransportTrace(world.transport, classify_gnutella_frame)
+        with trace:
+            for query in ("free music", "photoshop crack", "norton full"):
+                world.query(query)
+        rows = overhead_report(trace)
+        kinds = {row.kind for row in rows}
+        assert "query" in kinds
+        assert "query-hit" in kinds
+        shares = sum(row.byte_share for row in rows)
+        assert shares == pytest.approx(1.0)
+        hit_row = next(row for row in rows if row.kind == "query-hit")
+        assert hit_row.bytes > 0

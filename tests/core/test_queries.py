@@ -1,0 +1,63 @@
+"""Tests for the query workload."""
+
+import itertools
+
+import pytest
+
+from repro.core.measure.queries import EVERGREEN_QUERIES, QueryWorkload
+from repro.files.catalog import CatalogConfig, ContentCatalog
+from repro.simnet.rng import SeededStream
+
+
+@pytest.fixture()
+def catalog():
+    return ContentCatalog(CatalogConfig(works=300), SeededStream(2, "c"))
+
+
+class TestQueryWorkload:
+    def test_round_robin(self):
+        workload = QueryWorkload(["a", "b", "c"])
+        drawn = [workload.next_query() for _ in range(7)]
+        assert drawn == ["a", "b", "c", "a", "b", "c", "a"]
+
+    def test_iter(self):
+        workload = QueryWorkload(["x", "y"])
+        assert list(itertools.islice(iter(workload), 4)) == [
+            "x", "y", "x", "y"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkload([])
+
+    def test_from_catalog_includes_evergreen(self, catalog):
+        workload = QueryWorkload.from_catalog(catalog,
+                                              SeededStream(3, "w"))
+        for query in EVERGREEN_QUERIES:
+            assert query in workload.queries
+
+    def test_from_catalog_category_quotas(self, catalog):
+        workload = QueryWorkload.from_catalog(
+            catalog, SeededStream(3, "w"), popular_works=40,
+            include_evergreen=False)
+        # queries come from works; count how many match archive/exe works
+        keyword_to_type = {}
+        for work in catalog.works:
+            keyword_to_type[" ".join(work.keywords[:2])] = (
+                work.file_type.value)
+        categories = [keyword_to_type.get(query) for query in
+                      workload.queries]
+        archive_like = sum(1 for c in categories
+                           if c in ("archive", "executable"))
+        # quotas say 50% of popular-work queries target archive/exe
+        assert archive_like >= len(workload.queries) * 0.35
+
+    def test_from_catalog_no_duplicates(self, catalog):
+        workload = QueryWorkload.from_catalog(catalog, SeededStream(3, "w"))
+        assert len(workload.queries) == len(set(workload.queries))
+
+    def test_deterministic_for_seed(self, catalog):
+        a = QueryWorkload.from_catalog(catalog, SeededStream(4, "w"))
+        catalog2 = ContentCatalog(CatalogConfig(works=300),
+                                  SeededStream(2, "c"))
+        b = QueryWorkload.from_catalog(catalog2, SeededStream(4, "w"))
+        assert a.queries == b.queries

@@ -1,0 +1,64 @@
+"""Property tests: record persistence is lossless for arbitrary content."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measure.records import ResponseRecord
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=60)
+
+
+@st.composite
+def records(draw):
+    record = ResponseRecord(
+        network=draw(st.sampled_from(["limewire", "openft"])),
+        time=draw(st.floats(min_value=0, max_value=1e7,
+                            allow_nan=False, allow_infinity=False)),
+        query=draw(_text),
+        responder_host=draw(st.sampled_from(
+            ["1.2.3.4", "192.168.0.7", "10.9.8.7", "203.0.113.5"])),
+        responder_port=draw(st.integers(min_value=0, max_value=65535)),
+        responder_key=draw(_text),
+        filename=draw(_text),
+        size=draw(st.integers(min_value=0, max_value=2**40)),
+        content_id=draw(_text),
+        push_needed=draw(st.booleans()),
+        busy=draw(st.booleans()),
+        vendor=draw(st.sampled_from(["LIME", "BEAR", "GIFT", ""])),
+    )
+    record.download_attempted = draw(st.booleans())
+    record.downloaded = draw(st.booleans())
+    record.malware_name = draw(st.one_of(st.none(), _text))
+    return record
+
+
+@given(records())
+@settings(max_examples=150, deadline=None)
+def test_json_roundtrip_lossless(record):
+    assert ResponseRecord.from_json(record.to_json()) == record
+
+
+@given(records())
+@settings(max_examples=100, deadline=None)
+def test_derived_fields_total(record):
+    # derived properties never raise, whatever the filename looks like
+    assert isinstance(record.extension, str)
+    assert isinstance(record.file_type, str)
+    assert isinstance(record.counts_as_downloadable_type, bool)
+    assert record.day >= 0
+
+
+@given(st.lists(records(), max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_store_roundtrip_lossless(tmp_path_factory, record_list):
+    from repro.core.measure.store import MeasurementStore
+
+    store = MeasurementStore("limewire")
+    for record in record_list:
+        record.network = "limewire"
+        store.add(record)
+    path = tmp_path_factory.mktemp("prop") / "store.jsonl"
+    store.save(path)
+    loaded = MeasurementStore.load(path)
+    assert loaded.records() == store.records()

@@ -1,0 +1,64 @@
+"""Tests for the report renderers."""
+
+from repro.core import reports
+from repro.core.filtering.evaluate import evaluate_filter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+
+
+class TestTables:
+    def test_t1(self, synthetic_store):
+        text = reports.render_t1_summary([synthetic_store], 2.0)
+        assert "T1" in text
+        assert "limewire" in text
+        assert "12" in text  # responses
+
+    def test_t2(self, synthetic_store):
+        text = reports.render_t2_prevalence([synthetic_store])
+        assert "60.0%" in text
+
+    def test_t3(self, synthetic_store):
+        text = reports.render_t3_top_malware(synthetic_store)
+        lines = text.splitlines()
+        assert any("WormA" in line and "66.7%" in line for line in lines)
+        assert any("WormB" in line and "100.0%" in line for line in lines)
+
+    def test_t4(self, synthetic_store):
+        text = reports.render_t4_sources(synthetic_store, top_strain="WormB")
+        assert "private" in text
+        assert "3.3.3.3" in text
+
+    def test_t5(self, synthetic_store):
+        size_filter = SizeBasedFilter.learn(synthetic_store, top_n=2)
+        report = evaluate_filter(size_filter, synthetic_store)
+        text = reports.render_t5_filters([report])
+        assert "size-based" in text
+        assert "100.0%" in text
+
+    def test_t6(self, synthetic_store):
+        text = reports.render_t6_size_dictionary(synthetic_store, top_n=2)
+        assert "1000" in text
+        assert "WormA" in text
+
+
+class TestFigures:
+    def test_f1(self, synthetic_store):
+        text = reports.render_f1_rank_cdf(synthetic_store)
+        assert "[  0]" in text
+        assert "1.000" in text
+
+    def test_f2(self, synthetic_store):
+        text = reports.render_f2_size_distribution(synthetic_store)
+        assert "WormB" in text
+
+    def test_f3(self, synthetic_store):
+        text = reports.render_f3_timeseries(synthetic_store)
+        assert "day  0" in text
+        assert "share=" in text
+
+    def test_f4(self, synthetic_store):
+        text = reports.render_f4_host_cdf(synthetic_store)
+        assert "host CDF" in text
+
+    def test_f4_with_strain(self, synthetic_store):
+        text = reports.render_f4_host_cdf(synthetic_store, "WormB")
+        assert "WormB" in text

@@ -1,0 +1,66 @@
+"""Tests for the measurement store."""
+
+import pytest
+
+from repro.core.measure.store import MeasurementStore
+
+from .conftest import make_record
+
+
+class TestSelections:
+    def test_len_and_iter(self, synthetic_store):
+        assert len(synthetic_store) == 12
+        assert len(list(synthetic_store)) == 12
+
+    def test_downloadable_responses(self, synthetic_store):
+        assert len(synthetic_store.downloadable_responses()) == 10
+
+    def test_malicious_responses(self, synthetic_store):
+        assert len(synthetic_store.malicious_responses()) == 6
+
+    def test_clean_downloadable(self, synthetic_store):
+        assert len(synthetic_store.clean_downloadable_responses()) == 4
+
+    def test_unique_hosts(self, synthetic_store):
+        assert synthetic_store.unique_hosts() == 8
+
+    def test_unique_contents(self, synthetic_store):
+        assert synthetic_store.unique_contents() == 9
+
+    def test_by_day(self, synthetic_store):
+        days = synthetic_store.by_day()
+        assert set(days) == {0, 1}
+        assert len(days[1]) == 2
+
+    def test_records_predicate(self, synthetic_store):
+        mp3s = synthetic_store.records(lambda r: r.extension == "mp3")
+        assert len(mp3s) == 1
+
+    def test_network_mismatch_rejected(self, synthetic_store):
+        with pytest.raises(ValueError):
+            synthetic_store.add(make_record(network="openft"))
+
+    def test_queries_counted(self, synthetic_store):
+        assert synthetic_store.queries_issued == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, synthetic_store, tmp_path):
+        path = tmp_path / "store.jsonl"
+        written = synthetic_store.save(path)
+        assert written == 12
+        loaded = MeasurementStore.load(path)
+        assert loaded.network == "limewire"
+        assert loaded.queries_issued == 2
+        assert len(loaded) == 12
+        assert (len(loaded.malicious_responses())
+                == len(synthetic_store.malicious_responses()))
+        assert loaded.records()[0] == synthetic_store.records()[0]
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        store = MeasurementStore("openft")
+        path = tmp_path / "empty.jsonl"
+        store.save(path)
+        loaded = MeasurementStore.load(path)
+        assert len(loaded) == 0
+        assert loaded.network == "openft"

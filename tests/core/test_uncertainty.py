@@ -1,0 +1,100 @@
+"""Tests for the uncertainty analysis."""
+
+import pytest
+
+from repro.core.analysis.uncertainty import (ConfidenceInterval,
+                                             bootstrap_ci,
+                                             prevalence_statistic,
+                                             private_share_statistic,
+                                             top_share_statistic,
+                                             wilson_interval)
+from repro.core.measure.store import MeasurementStore
+
+
+class TestWilson:
+    def test_half_proportion_symmetric(self):
+        ci = wilson_interval(50, 100)
+        assert ci.estimate == pytest.approx(0.5)
+        assert ci.low < 0.5 < ci.high
+        assert (0.5 - ci.low) == pytest.approx(ci.high - 0.5, abs=1e-9)
+
+    def test_known_value(self):
+        # classic check: 8/10 at 95% -> approx [0.49, 0.94]
+        ci = wilson_interval(8, 10)
+        assert ci.low == pytest.approx(0.49, abs=0.01)
+        assert ci.high == pytest.approx(0.94, abs=0.01)
+
+    def test_shrinks_with_more_trials(self):
+        narrow = wilson_interval(680, 1000)
+        wide = wilson_interval(68, 100)
+        assert narrow.width < wide.width
+
+    def test_edge_counts(self):
+        assert wilson_interval(0, 10).low == 0.0
+        assert wilson_interval(10, 10).high == 1.0
+        zero = wilson_interval(0, 0)
+        assert (zero.low, zero.high) == (0.0, 1.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_contains(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.95)
+        assert ci.contains(0.45)
+        assert not ci.contains(0.7)
+
+
+class TestStatistics:
+    def test_prevalence_statistic(self, synthetic_store):
+        assert prevalence_statistic(
+            synthetic_store.records()) == pytest.approx(0.6)
+
+    def test_private_share_statistic(self, synthetic_store):
+        assert private_share_statistic(
+            synthetic_store.records()) == pytest.approx(1 / 6)
+
+    def test_top_share_statistic(self, synthetic_store):
+        assert top_share_statistic(1)(
+            synthetic_store.records()) == pytest.approx(4 / 6)
+        assert top_share_statistic(5)(
+            synthetic_store.records()) == pytest.approx(1.0)
+
+    def test_statistics_on_empty(self):
+        assert prevalence_statistic([]) == 0.0
+        assert private_share_statistic([]) == 0.0
+        assert top_share_statistic(3)([]) == 0.0
+
+
+class TestBootstrap:
+    def test_interval_brackets_estimate(self, synthetic_store):
+        ci = bootstrap_ci(synthetic_store, prevalence_statistic,
+                          resamples=200, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(0.6)
+
+    def test_deterministic_for_seed(self, synthetic_store):
+        a = bootstrap_ci(synthetic_store, prevalence_statistic,
+                         resamples=100, seed=7)
+        b = bootstrap_ci(synthetic_store, prevalence_statistic,
+                         resamples=100, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_campaign_prevalence_tight(self, limewire_campaign):
+        ci = bootstrap_ci(limewire_campaign.store, prevalence_statistic,
+                          resamples=100, seed=3)
+        assert ci.width < 0.05  # thousands of records -> tight interval
+        assert ci.contains(ci.estimate)
+        assert 0.55 <= ci.estimate <= 0.80
+
+    def test_empty_store(self):
+        ci = bootstrap_ci(MeasurementStore("limewire"),
+                          prevalence_statistic, resamples=10)
+        assert ci.estimate == 0.0
+
+    def test_invalid_resamples(self, synthetic_store):
+        with pytest.raises(ValueError):
+            bootstrap_ci(synthetic_store, prevalence_statistic,
+                         resamples=0)

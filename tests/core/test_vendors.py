@@ -1,0 +1,53 @@
+"""Tests for the vendor census extension."""
+
+import pytest
+
+from repro.core.analysis.vendors import vendor_census
+from repro.core.measure.store import MeasurementStore
+
+from .conftest import make_record
+
+
+class TestSynthetic:
+    def test_counts_and_shares(self):
+        store = MeasurementStore("limewire")
+        store.add(make_record(vendor="LIME", malware="X"))
+        store.add(make_record(vendor="LIME"))
+        store.add(make_record(vendor="BEAR"))
+        rows = {row.vendor: row for row in vendor_census(store)}
+        assert rows["LIME"].responses == 2
+        assert rows["LIME"].response_share == pytest.approx(2 / 3)
+        assert rows["LIME"].malicious == 1
+        assert rows["LIME"].malicious_share == pytest.approx(1.0)
+        assert rows["BEAR"].malicious == 0
+
+    def test_missing_vendor_bucketed(self):
+        store = MeasurementStore("limewire")
+        store.add(make_record(vendor=""))
+        rows = vendor_census(store)
+        assert rows[0].vendor == "????"
+
+
+def make_record(**overrides):  # shadow helper adding vendor kwarg
+    from .conftest import make_record as base_make_record
+    vendor = overrides.pop("vendor", "")
+    record = base_make_record(**overrides)
+    record.vendor = vendor
+    return record
+
+
+class TestOnCampaign:
+    def test_population_mix_visible(self, limewire_campaign):
+        rows = vendor_census(limewire_campaign.store)
+        vendors = {row.vendor for row in rows}
+        assert "LIME" in vendors
+        assert len(vendors) >= 3  # BearShare/Shareaza/Gnucleus appear
+
+    def test_infection_not_brand_specific(self, limewire_campaign):
+        """Malicious share per vendor roughly tracks response share."""
+        rows = vendor_census(limewire_campaign.store)
+        for row in rows:
+            if row.responses < 200:
+                continue
+            assert row.malicious_share == pytest.approx(
+                row.response_share, abs=0.25)

@@ -1,0 +1,79 @@
+"""Tests for the content catalog."""
+
+from collections import Counter
+
+import pytest
+
+from repro.files.catalog import CatalogConfig, ContentCatalog
+from repro.files.types import FileType
+from repro.simnet.rng import SeededStream
+
+
+@pytest.fixture()
+def catalog():
+    return ContentCatalog(CatalogConfig(works=200),
+                          SeededStream(3, "catalog"))
+
+
+class TestGeneration:
+    def test_work_count(self, catalog):
+        assert len(catalog.works) == 200
+
+    def test_every_work_has_versions(self, catalog):
+        for work in catalog.works:
+            versions = catalog.versions_by_work[work.work_id]
+            assert versions
+            for version in versions:
+                assert version.work is work
+                assert version.size > 0
+
+    def test_type_mix_proportions_hold_in_prefixes(self, catalog):
+        # the deterministic interleave keeps every prefix balanced
+        for prefix in (20, 50, 200):
+            counts = Counter(work.file_type
+                             for work in catalog.works[:prefix])
+            audio_share = counts[FileType.AUDIO] / prefix
+            assert 0.36 <= audio_share <= 0.56  # config says 0.46
+            downloadable = (counts[FileType.ARCHIVE]
+                            + counts[FileType.EXECUTABLE]) / prefix
+            assert 0.15 <= downloadable <= 0.35  # config says 0.25
+
+    def test_same_seed_same_catalog(self):
+        a = ContentCatalog(CatalogConfig(works=50), SeededStream(1, "c"))
+        b = ContentCatalog(CatalogConfig(works=50), SeededStream(1, "c"))
+        assert [w.keywords for w in a.works] == [w.keywords for w in b.works]
+
+    def test_version_identity_stable(self, catalog):
+        version = catalog.versions_by_work[0][0]
+        assert version.sha1_urn == version.blob.sha1_urn()
+
+    def test_total_versions(self, catalog):
+        assert catalog.total_versions == sum(
+            len(v) for v in catalog.versions_by_work.values())
+        assert catalog.total_versions >= 200
+
+
+class TestSampling:
+    def test_sample_work_skews_popular(self, catalog):
+        stream = SeededStream(9, "sample")
+        counts = Counter(catalog.sample_work(stream).work_id
+                         for _ in range(5000))
+        top_20 = sum(counts[work_id] for work_id in range(20))
+        bottom_20 = sum(counts[work_id] for work_id in range(180, 200))
+        assert top_20 > 3 * max(1, bottom_20)
+
+    def test_sample_version_valid(self, catalog):
+        stream = SeededStream(9, "sample2")
+        for _ in range(50):
+            version = catalog.sample_version(stream)
+            assert version in catalog.versions_by_work[version.work.work_id]
+
+    def test_popular_works_prefix(self, catalog):
+        top = catalog.popular_works(10)
+        assert [w.work_id for w in top] == list(range(10))
+
+    def test_decorate_filename_contains_keywords(self, catalog):
+        from repro.files.names import tokenize
+        version = catalog.versions_by_work[0][0]
+        name = catalog.decorate_filename(version)
+        assert set(version.work.keywords) <= tokenize(name)

@@ -1,0 +1,90 @@
+"""Tests for sparse payload blobs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.files.payload import MAGIC_BYTES, Blob
+
+
+def make_blob(**overrides):
+    defaults = dict(content_key="k1", extension="exe", size=1000)
+    defaults.update(overrides)
+    return Blob(**defaults)
+
+
+class TestIdentity:
+    def test_same_spec_same_hashes(self):
+        assert make_blob().sha1_urn() == make_blob().sha1_urn()
+        assert make_blob().md5_hex() == make_blob().md5_hex()
+
+    def test_urn_format(self):
+        urn = make_blob().sha1_urn()
+        assert urn.startswith("urn:sha1:")
+        assert len(urn) == len("urn:sha1:") + 32  # base32 sha1
+
+    def test_md5_format(self):
+        md5 = make_blob().md5_hex()
+        assert len(md5) == 32
+        int(md5, 16)  # valid hex
+
+    def test_key_changes_hash(self):
+        assert make_blob().sha1_urn() != make_blob(
+            content_key="k2").sha1_urn()
+
+    def test_size_changes_hash(self):
+        assert make_blob().sha1_urn() != make_blob(size=1001).sha1_urn()
+
+    def test_markers_change_hash(self):
+        assert make_blob().sha1_urn() != make_blob(
+            markers=(b"SIG",)).sha1_urn()
+
+    def test_members_change_hash(self):
+        inner = make_blob(content_key="inner")
+        assert make_blob().sha1_urn() != make_blob(
+            members=(inner,)).sha1_urn()
+
+
+class TestHeader:
+    def test_header_starts_with_magic(self):
+        blob = make_blob(extension="exe")
+        assert blob.header().startswith(MAGIC_BYTES["exe"])
+
+    def test_header_length(self):
+        assert len(make_blob().header(64)) == 64
+        assert len(make_blob().header(8)) == 8
+
+    def test_header_deterministic(self):
+        assert make_blob().header() == make_blob().header()
+
+    def test_unknown_extension_gets_neutral_header(self):
+        blob = make_blob(extension="weird")
+        assert len(blob.header(16)) == 16
+
+
+class TestMarkersAndMembers:
+    def test_contains_marker_direct(self):
+        blob = make_blob(markers=(b"SIG1",))
+        assert blob.contains_marker(b"SIG1")
+        assert not blob.contains_marker(b"SIG2")
+
+    def test_contains_marker_nested(self):
+        inner = make_blob(content_key="inner", markers=(b"DEEP",))
+        outer = make_blob(extension="zip", members=(inner,))
+        assert outer.contains_marker(b"DEEP")
+
+    def test_iter_members_depth_first(self):
+        leaf = make_blob(content_key="leaf")
+        middle = make_blob(content_key="middle", members=(leaf,))
+        root = make_blob(content_key="root", members=(middle,))
+        keys = [blob.content_key for blob in root.iter_members()]
+        assert keys == ["root", "middle", "leaf"]
+
+
+@given(key=st.text(min_size=1, max_size=30),
+       size=st.integers(min_value=1, max_value=10**12))
+@settings(max_examples=60, deadline=None)
+def test_identity_is_function_of_spec(key, size):
+    a = Blob(content_key=key, extension="zip", size=size)
+    b = Blob(content_key=key, extension="zip", size=size)
+    assert a.sha1_urn() == b.sha1_urn()
+    assert a.md5_hex() == b.md5_hex()

@@ -1,0 +1,60 @@
+"""Tests for the Zipf sampler."""
+
+import pytest
+
+from repro.files.zipf import ZipfSampler
+from repro.simnet.rng import SeededStream
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, 0.9)
+        total = sum(sampler.probability(rank) for rank in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_probabilities_monotonic(self):
+        sampler = ZipfSampler(50, 0.9)
+        probabilities = [sampler.probability(rank) for rank in range(1, 51)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0)
+        for rank in range(1, 11):
+            assert sampler.probability(rank) == pytest.approx(0.1)
+
+    def test_sample_ranks_in_range(self):
+        sampler = ZipfSampler(20, 1.0)
+        stream = SeededStream(1, "z")
+        for rank in sampler.sample(stream, 500):
+            assert 1 <= rank <= 20
+
+    def test_sample_skews_to_popular(self):
+        sampler = ZipfSampler(100, 1.0)
+        stream = SeededStream(2, "z")
+        ranks = sampler.sample(stream, 5000)
+        assert ranks.count(1) > 5 * max(1, ranks.count(50))
+
+    def test_sample_empirical_matches_probability(self):
+        sampler = ZipfSampler(10, 0.8)
+        stream = SeededStream(3, "z")
+        ranks = sampler.sample(stream, 20000)
+        empirical = ranks.count(1) / len(ranks)
+        assert empirical == pytest.approx(sampler.probability(1), abs=0.02)
+
+    def test_sample_one(self):
+        sampler = ZipfSampler(5, 1.0)
+        stream = SeededStream(4, "z")
+        assert 1 <= sampler.sample_one(stream) <= 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.1)
+        sampler = ZipfSampler(10, 1.0)
+        with pytest.raises(ValueError):
+            sampler.probability(0)
+        with pytest.raises(ValueError):
+            sampler.probability(11)
+        with pytest.raises(ValueError):
+            sampler.sample(SeededStream(1, "z"), -1)

@@ -1,0 +1,70 @@
+"""Fixtures for Gnutella protocol tests: a small hand-wired overlay."""
+
+import pytest
+
+from repro.files.catalog import CatalogConfig, ContentCatalog
+from repro.files.library import SharedFile, SharedLibrary
+from repro.gnutella.network import GnutellaNetwork
+from repro.gnutella.servent import GnutellaServent
+from repro.gnutella.topology import TopologyConfig, build_topology
+from repro.malware.corpus import limewire_strains
+from repro.malware.infection import HostInfection
+from repro.simnet.addresses import AddressAllocator
+from repro.simnet.transport import Transport
+
+
+class SmallWorld:
+    """A compact overlay: 4 ultrapeers, 12 leaves (2 echo-infected)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.transport = Transport(sim)
+        self.allocator = AddressAllocator(sim.stream("addr"))
+        self.catalog = ContentCatalog(CatalogConfig(works=100),
+                                      sim.stream("catalog"))
+        self.strains = limewire_strains()
+        stream = sim.stream("world")
+
+        self.ultrapeers = [
+            GnutellaServent(sim, self.transport, f"up{i}",
+                            self.allocator.allocate(), role="ultrapeer")
+            for i in range(4)
+        ]
+        self.leaves = []
+        for i in range(12):
+            library = SharedLibrary()
+            for _ in range(stream.randint(4, 15)):
+                version = self.catalog.sample_version(stream)
+                library.add(SharedFile.make(
+                    self.catalog.decorate_filename(version), version.size,
+                    version.extension, version.blob))
+            infection = None
+            if i < 2:
+                infection = HostInfection()
+                infection.infect(self.strains[0], library, stream)
+            self.leaves.append(GnutellaServent(
+                sim, self.transport, f"leaf{i}",
+                self.allocator.allocate(behind_nat=(i == 0)),
+                role="leaf", library=library, infection=infection))
+
+        build_topology(self.ultrapeers, self.leaves, sim.stream("topo"),
+                       TopologyConfig(ultrapeer_degree=3,
+                                      leaf_attachments=2))
+        self.network = GnutellaNetwork(sim, self.transport, self.ultrapeers,
+                                       self.leaves, self.strains)
+        self.crawler = self.network.create_crawler(
+            "crawler", self.allocator.allocate())
+        self.hits = []
+        self.crawler.on_local_hit = (
+            lambda hit, header: self.hits.append((hit, header)))
+
+    def query(self, criteria, horizon=60.0):
+        self.hits.clear()
+        guid = self.crawler.originate_query(criteria)
+        self.sim.run_until(self.sim.now + horizon)
+        return guid, list(self.hits)
+
+
+@pytest.fixture()
+def world(sim):
+    return SmallWorld(sim)

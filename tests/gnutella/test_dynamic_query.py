@@ -1,0 +1,110 @@
+"""Tests for the dynamic query controller."""
+
+import pytest
+
+from repro.gnutella.servent import GnutellaServent
+from repro.gnutella.topology import TopologyConfig, attach_leaf, build_topology
+from repro.simnet.addresses import AddressAllocator
+from repro.simnet.transport import Transport
+
+
+def build_dq_world(sim, result_target=None):
+    """8 dynamic-query ultrapeers in a mesh, 10 echo-free leaves plus a
+    querying leaf."""
+    from repro.files.catalog import CatalogConfig, ContentCatalog
+    from repro.files.library import SharedFile, SharedLibrary
+
+    transport = Transport(sim)
+    allocator = AddressAllocator(sim.stream("addr"))
+    catalog = ContentCatalog(CatalogConfig(works=80), sim.stream("cat"))
+    stream = sim.stream("world")
+
+    ultrapeers = []
+    for index in range(8):
+        up = GnutellaServent(sim, transport, f"up{index}",
+                             allocator.allocate(), role="ultrapeer",
+                             dynamic_queries=True)
+        if result_target is not None:
+            up.DQ_RESULT_TARGET = result_target
+        ultrapeers.append(up)
+
+    leaves = []
+    for index in range(10):
+        library = SharedLibrary()
+        for _ in range(8):
+            version = catalog.sample_version(stream)
+            library.add(SharedFile.make(
+                catalog.decorate_filename(version), version.size,
+                version.extension, version.blob))
+        leaves.append(GnutellaServent(sim, transport, f"leaf{index}",
+                                      allocator.allocate(), role="leaf",
+                                      library=library))
+    build_topology(ultrapeers, leaves, sim.stream("topo"),
+                   TopologyConfig(ultrapeer_degree=4, leaf_attachments=2))
+
+    querier = GnutellaServent(sim, transport, "querier",
+                              allocator.allocate(), role="leaf")
+    attach_leaf(querier, ultrapeers[0])
+    return transport, ultrapeers, leaves, querier, catalog
+
+
+class TestDynamicQuery:
+    def test_probing_is_paced(self, sim):
+        _, ultrapeers, _, querier, catalog = build_dq_world(sim)
+        querier.originate_query("nothing matches this")
+        sim.run_until(sim.now + 1.0)  # one round at most so far
+        first_round = ultrapeers[0].stats.queries_forwarded_peers
+        assert first_round <= GnutellaServent.DQ_BATCH
+        sim.run_until(sim.now + 30.0)
+        assert (ultrapeers[0].stats.queries_forwarded_peers
+                > first_round)  # later rounds fired
+
+    def test_probes_whole_mesh_for_rare_content(self, sim):
+        _, ultrapeers, _, querier, _ = build_dq_world(sim)
+        querier.originate_query("zebra quantum xylophone")
+        sim.run_until(sim.now + 60.0)
+        # no results ever arrive, so the controller exhausts every
+        # neighbour of the shield ultrapeer
+        shield = ultrapeers[0]
+        assert (shield.stats.queries_forwarded_peers
+                == len(shield.peer_ids))
+
+    def test_stops_early_when_satisfied(self, sim):
+        _, ultrapeers, leaves, querier, catalog = build_dq_world(
+            sim, result_target=1)
+        shared = next(iter(leaves[0].library))
+        query = " ".join(sorted(shared.tokens)[:2])
+        hits = []
+        querier.on_local_hit = lambda hit, header: hits.append(hit)
+        querier.originate_query(query)
+        sim.run_until(sim.now + 120.0)
+        shield = ultrapeers[0]
+        # satisfied controllers do not exhaust the mesh
+        assert not shield._dynamic_states  # controller finished
+        assert hits or shield.stats.queries_forwarded_peers <= len(
+            shield.peer_ids)
+
+    def test_leaves_served_immediately(self, sim):
+        _, ultrapeers, leaves, querier, _ = build_dq_world(sim)
+        shield = ultrapeers[0]
+        target_leaf = next(
+            (leaf for leaf in leaves
+             if shield.endpoint_id in leaf.peer_ids), None)
+        if target_leaf is None:
+            pytest.skip("no leaf attached to the shield in this seed")
+        shared = next(iter(target_leaf.library))
+        hits = []
+        querier.on_local_hit = lambda hit, header: hits.append(hit)
+        querier.originate_query(" ".join(sorted(shared.tokens)[:2]))
+        sim.run_until(sim.now + 5.0)  # before most probe rounds
+        assert any(hit.servent_guid == target_leaf.servent_guid
+                   for hit in hits)
+
+    def test_flooding_upstream_unaffected(self, sim):
+        # queries arriving from *other ultrapeers* still flood normally
+        _, ultrapeers, _, querier, _ = build_dq_world(sim)
+        querier.originate_query("free music")
+        sim.run_until(sim.now + 60.0)
+        downstream = [up for up in ultrapeers[1:]
+                      if up.stats.queries_seen > 0]
+        assert downstream  # probes propagated beyond the shield

@@ -1,0 +1,129 @@
+"""Tests for GGEP framing and COBS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnutella.ggep import (GGEP_MAGIC, GgepBlock, GgepError,
+                                 cobs_decode, cobs_encode,
+                                 daily_uptime_block, decode_ggep,
+                                 encode_ggep, parse_daily_uptime,
+                                 vendor_block)
+
+
+class TestCobs:
+    @pytest.mark.parametrize("data", [
+        b"", b"\x00", b"\x00\x00", b"hello", b"he\x00llo", b"\x00end",
+        b"end\x00", b"a" * 253, b"a" * 254, b"a" * 255, b"a" * 300,
+        b"\x00" * 10, bytes(range(1, 100)),
+    ])
+    def test_roundtrip(self, data):
+        encoded = cobs_encode(data)
+        assert b"\x00" not in encoded
+        assert cobs_decode(encoded) == data
+
+    def test_decode_rejects_zero_code(self):
+        with pytest.raises(GgepError):
+            cobs_decode(b"\x00")
+
+    def test_decode_rejects_truncation(self):
+        with pytest.raises(GgepError):
+            cobs_decode(b"\x05ab")
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, data):
+        encoded = cobs_encode(data)
+        assert b"\x00" not in encoded
+        assert cobs_decode(encoded) == data
+
+
+class TestGgep:
+    def test_single_block_roundtrip(self):
+        blocks = [GgepBlock("VC", b"LIME\x04")]
+        raw = encode_ggep(blocks)
+        assert raw[0] == GGEP_MAGIC
+        decoded, consumed = decode_ggep(raw)
+        assert decoded == blocks
+        assert consumed == len(raw)
+
+    def test_multiple_blocks(self):
+        blocks = [GgepBlock("VC", b"LIME\x04"),
+                  GgepBlock("DU", b"\x80\x51"),
+                  GgepBlock("GUE", b"")]
+        decoded, _ = decode_ggep(encode_ggep(blocks))
+        assert decoded == blocks
+
+    def test_cobs_block_roundtrip(self):
+        blocks = [GgepBlock("X", b"has\x00nul\x00bytes", cobs=True)]
+        raw = encode_ggep(blocks)
+        # the payload area must be NUL-free so it can live between the
+        # NUL-delimited extension sections of a Query
+        assert b"\x00" not in raw[2 + 1:]
+        decoded, _ = decode_ggep(raw)
+        assert decoded[0].payload == b"has\x00nul\x00bytes"
+
+    def test_large_payload_length_encoding(self):
+        payload = b"x" * 5000  # needs a 2-byte granny length
+        decoded, _ = decode_ggep(encode_ggep([GgepBlock("BIG", payload)]))
+        assert decoded[0].payload == payload
+
+    def test_trailing_bytes_not_consumed(self):
+        raw = encode_ggep([GgepBlock("VC", b"LIME\x04")]) + b"trailing"
+        decoded, consumed = decode_ggep(raw)
+        assert decoded[0].extension_id == "VC"
+        assert raw[consumed:] == b"trailing"
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(GgepError):
+            encode_ggep([])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(GgepError):
+            decode_ggep(b"\x00\x81A\x80")
+
+    def test_truncated_frame_rejected(self):
+        raw = encode_ggep([GgepBlock("VC", b"LIME\x04")])
+        with pytest.raises(GgepError):
+            decode_ggep(raw[:-2])
+
+    def test_id_length_validation(self):
+        with pytest.raises(GgepError):
+            GgepBlock("", b"")
+        with pytest.raises(GgepError):
+            GgepBlock("x" * 16, b"")
+
+
+class TestWellKnownBlocks:
+    def test_vendor_block(self):
+        block = vendor_block(b"LIME", 0x44)
+        assert block.extension_id == "VC"
+        assert block.payload == b"LIME\x44"
+        with pytest.raises(GgepError):
+            vendor_block(b"TOOLONG", 1)
+
+    def test_daily_uptime_roundtrip(self):
+        for seconds in (0, 1, 3600, 86_400, 2**20):
+            block = daily_uptime_block(seconds)
+            assert parse_daily_uptime(block) == seconds
+
+    def test_daily_uptime_validation(self):
+        with pytest.raises(GgepError):
+            daily_uptime_block(-1)
+        with pytest.raises(GgepError):
+            parse_daily_uptime(GgepBlock("VC", b"LIME\x01"))
+
+
+@given(st.lists(
+    st.tuples(
+        st.text(alphabet=st.characters(min_codepoint=65, max_codepoint=90),
+                min_size=1, max_size=15),
+        st.binary(max_size=100),
+        st.booleans()),
+    min_size=1, max_size=5))
+@settings(max_examples=80, deadline=None)
+def test_ggep_roundtrip_property(specs):
+    blocks = [GgepBlock(extension_id=ext_id, payload=payload, cobs=cobs)
+              for ext_id, payload, cobs in specs]
+    decoded, consumed = decode_ggep(encode_ggep(blocks))
+    assert decoded == blocks

@@ -1,0 +1,71 @@
+"""Tests for the 0.6 handshake."""
+
+import pytest
+
+from repro.gnutella.handshake import (HandshakeError, HandshakeMessage,
+                                      accept_response, connect_request,
+                                      final_ack, negotiate_roles,
+                                      reject_response)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = connect_request("LimeWire/4.12.3", ultrapeer=True,
+                                  listen_ip="1.2.3.4", port=6346)
+        decoded = HandshakeMessage.decode(message.encode())
+        assert decoded.start_line == "GNUTELLA CONNECT/0.6"
+        assert decoded.header("User-Agent") == "LimeWire/4.12.3"
+        assert decoded.header("X-Ultrapeer") == "True"
+        assert decoded.header("Listen-IP") == "1.2.3.4:6346"
+
+    def test_header_lookup_case_insensitive(self):
+        message = accept_response("giFT/0.11.8", ultrapeer=False)
+        assert message.header("x-ultrapeer") == "False"
+        assert message.header("missing", "dflt") == "dflt"
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(HandshakeError):
+            HandshakeMessage.decode(b"GNUTELLA CONNECT/0.6\r\n")
+
+    def test_malformed_header_rejected(self):
+        raw = b"GNUTELLA CONNECT/0.6\r\nbadheader\r\n\r\n"
+        with pytest.raises(HandshakeError):
+            HandshakeMessage.decode(raw)
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(HandshakeError):
+            HandshakeMessage.decode("GNUTELLA CONNECT/0.6\r\n\r\n".encode(
+                "utf-16"))
+
+    def test_is_ok(self):
+        assert accept_response("x", True).is_ok
+        assert not reject_response(503, "Full").is_ok
+        assert final_ack("x").is_ok
+
+
+class TestNegotiation:
+    def test_leaf_to_ultrapeer(self):
+        request = connect_request("a", ultrapeer=False,
+                                  listen_ip="1.1.1.1", port=6346)
+        response = accept_response("b", ultrapeer=True)
+        assert negotiate_roles(request, response) == ("leaf", "ultrapeer")
+
+    def test_ultrapeer_pair(self):
+        request = connect_request("a", ultrapeer=True,
+                                  listen_ip="1.1.1.1", port=6346)
+        response = accept_response("b", ultrapeer=True)
+        assert negotiate_roles(request, response) == ("ultrapeer",
+                                                      "ultrapeer")
+
+    def test_leaf_guidance_demotes(self):
+        request = connect_request("a", ultrapeer=True,
+                                  listen_ip="1.1.1.1", port=6346)
+        response = accept_response("b", ultrapeer=True,
+                                   ultrapeer_needed=False)
+        assert negotiate_roles(request, response) == ("leaf", "ultrapeer")
+
+    def test_rejection_raises(self):
+        request = connect_request("a", ultrapeer=False,
+                                  listen_ip="1.1.1.1", port=6346)
+        with pytest.raises(HandshakeError):
+            negotiate_roles(request, reject_response(503, "Shielded"))

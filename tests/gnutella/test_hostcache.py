@@ -1,0 +1,117 @@
+"""Tests for the host cache and bootstrap flow."""
+
+import pytest
+
+from repro.gnutella.hostcache import (CachedHost, HostCache,
+                                      format_x_try_ultrapeers,
+                                      parse_x_try_ultrapeers)
+from repro.gnutella.messages import Pong
+
+
+def make_host(address="1.2.3.4", port=6346, last_seen=0.0,
+              ultrapeer=True):
+    return CachedHost(address=address, port=port, last_seen=last_seen,
+                      ultrapeer=ultrapeer)
+
+
+class TestHostCache:
+    def test_add_and_candidates(self):
+        cache = HostCache()
+        cache.add(make_host("1.1.1.1", last_seen=1.0))
+        cache.add(make_host("2.2.2.2", last_seen=5.0))
+        candidates = cache.candidates(2)
+        assert [host.address for host in candidates] == ["2.2.2.2",
+                                                         "1.1.1.1"]
+
+    def test_refresh_keeps_freshest(self):
+        cache = HostCache()
+        cache.add(make_host(last_seen=10.0))
+        cache.add(make_host(last_seen=3.0))  # staler info ignored
+        assert cache.candidates(1)[0].last_seen == 10.0
+
+    def test_eviction_at_capacity(self):
+        cache = HostCache(capacity=3)
+        for index in range(5):
+            cache.add(make_host(address=f"10.0.0.{index + 1}",
+                                last_seen=float(index)))
+        assert len(cache) == 3
+        addresses = {host.address for host in cache.candidates(3)}
+        assert addresses == {"10.0.0.3", "10.0.0.4", "10.0.0.5"}
+
+    def test_leaves_filtered_from_candidates(self):
+        cache = HostCache()
+        cache.add(make_host("1.1.1.1", ultrapeer=False))
+        cache.add(make_host("2.2.2.2", ultrapeer=True))
+        assert [h.address for h in cache.candidates(5)] == ["2.2.2.2"]
+        assert len(cache.candidates(5, ultrapeers_only=False)) == 2
+
+    def test_add_pong(self):
+        cache = HostCache()
+        cache.add_pong(Pong(port=6346, address="3.3.3.3", file_count=9,
+                            kbytes_shared=10), now=7.0)
+        host = cache.candidates(1)[0]
+        assert host.address == "3.3.3.3"
+        assert host.file_count == 9
+
+    def test_forget(self):
+        cache = HostCache()
+        cache.add(make_host("4.4.4.4"))
+        cache.forget("4.4.4.4", 6346)
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HostCache(capacity=0)
+
+
+class TestXTryHeader:
+    def test_roundtrip(self):
+        hosts = [make_host("1.1.1.1", 6346), make_host("2.2.2.2", 6347)]
+        value = format_x_try_ultrapeers(hosts)
+        parsed = parse_x_try_ultrapeers(value, now=9.0)
+        assert [(h.address, h.port) for h in parsed] == [
+            ("1.1.1.1", 6346), ("2.2.2.2", 6347)]
+        assert all(h.last_seen == 9.0 for h in parsed)
+
+    @pytest.mark.parametrize("junk", [
+        "", "garbage", "1.2.3.4", "1.2.3.4:notaport", "1.2.3.4:0",
+        "1.2.3.4:99999", ",,,",
+    ])
+    def test_malformed_entries_skipped(self, junk):
+        assert parse_x_try_ultrapeers(junk, now=0.0) == []
+
+    def test_mixed_good_and_bad(self):
+        parsed = parse_x_try_ultrapeers("bad, 1.1.1.1:6346 ,also:bad:x",
+                                        now=0.0)
+        assert len(parsed) == 1
+
+
+class TestBootstrap:
+    def test_bootstrap_attaches_crawler(self, world):
+        crawler = world.network.bootstrap_crawler(
+            "bootstrapped", world.allocator.allocate())
+        assert len(crawler.peer_ids) >= 1
+        for peer_id in crawler.peer_ids:
+            assert world.network.servents[peer_id].role == "ultrapeer"
+
+    def test_bootstrap_fills_host_cache(self, world):
+        crawler = world.network.bootstrap_crawler(
+            "bootstrapped2", world.allocator.allocate())
+        assert crawler.host_cache is not None
+        assert len(crawler.host_cache) >= 1
+
+    def test_pongs_keep_feeding_cache(self, world):
+        crawler = world.network.bootstrap_crawler(
+            "bootstrapped3", world.allocator.allocate())
+        before = len(crawler.host_cache)
+        world.sim.run_until(world.sim.now + 30.0)  # ping answered
+        assert len(crawler.host_cache) >= before
+
+    def test_bootstrapped_crawler_can_query(self, world):
+        crawler = world.network.bootstrap_crawler(
+            "bootstrapped4", world.allocator.allocate())
+        hits = []
+        crawler.on_local_hit = lambda hit, header: hits.append(hit)
+        crawler.originate_query("free music")
+        world.sim.run_until(world.sim.now + 60.0)
+        assert hits  # echo worms answer anything

@@ -1,0 +1,169 @@
+"""Tests for the Query Routing Protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnutella.qrp import (DEFAULT_TABLE_BITS, QrpPatch, QrpReset,
+                                QueryRouteTable, decode_qrp, encode_qrp,
+                                qrp_hash)
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert qrp_hash("madonna") == qrp_hash("madonna")
+
+    def test_case_insensitive(self):
+        assert qrp_hash("MaDoNNa") == qrp_hash("madonna")
+
+    def test_in_range(self):
+        for bits in (8, 13, 16):
+            for token in ("a", "photoshop", "x" * 30):
+                assert 0 <= qrp_hash(token, bits) < (1 << bits)
+
+    def test_spreads(self):
+        slots = {qrp_hash(f"token{i}") for i in range(500)}
+        assert len(slots) > 450  # few collisions at 2^16
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            qrp_hash("x", 0)
+        with pytest.raises(ValueError):
+            qrp_hash("x", 33)
+
+    @given(st.text(min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_total_function(self, token):
+        assert 0 <= qrp_hash(token) < (1 << DEFAULT_TABLE_BITS)
+
+
+class TestQueryRouteTable:
+    def test_match_requires_all_tokens(self):
+        table = QueryRouteTable()
+        table.add_name("madonna_angel.mp3")
+        assert table.might_match("madonna")
+        assert table.might_match("madonna angel")
+        assert not table.might_match("madonna zebra")
+
+    def test_short_tokens_ignored(self):
+        table = QueryRouteTable()
+        table.add_name("ab_cd_song.mp3")
+        # 2-letter tokens are not routable; query of only short tokens
+        # forwards conservatively
+        assert table.might_match("ab cd")
+
+    def test_empty_table_blocks(self):
+        table = QueryRouteTable()
+        assert not table.might_match("anything")
+
+    def test_mark_all_matches_everything(self):
+        table = QueryRouteTable()
+        table.mark_all()
+        for query in ("madonna", "zebra quantum xylophone", ""):
+            assert table.might_match(query)
+        assert table.set_count == table.size
+
+    def test_build_from_replaces(self):
+        table = QueryRouteTable()
+        table.add_name("old_stuff.exe")
+        table.build_from(["new_things.zip"])
+        assert not table.might_match("old stuff")
+        assert table.might_match("new things")
+
+    def test_set_count(self):
+        table = QueryRouteTable()
+        assert table.set_count == 0
+        table.add_keyword("photoshop")
+        assert table.set_count == 1
+
+
+class TestWireForm:
+    def test_reset_roundtrip(self):
+        reset = QrpReset(table_length=65536, infinity=7)
+        assert decode_qrp(encode_qrp(reset)) == reset
+
+    def test_patch_roundtrip(self):
+        patch = QrpPatch(sequence_number=1, sequence_count=2,
+                         entry_bits=8, data=b"\x00\x01" * 10)
+        assert decode_qrp(encode_qrp(patch)) == patch
+
+    def test_table_roundtrip_through_messages(self):
+        table = QueryRouteTable()
+        table.build_from(["photoshop_crack.zip", "madonna_angel.mp3"])
+        wire = [encode_qrp(message) for message in table.to_messages()]
+        rebuilt = QueryRouteTable.from_messages(
+            decode_qrp(raw) for raw in wire)
+        assert rebuilt == table
+        assert rebuilt.might_match("photoshop crack")
+        assert not rebuilt.might_match("zebra")
+
+    def test_all_ones_survives_roundtrip(self):
+        table = QueryRouteTable()
+        table.mark_all()
+        rebuilt = QueryRouteTable.from_messages(
+            decode_qrp(encode_qrp(message))
+            for message in table.to_messages())
+        assert rebuilt.might_match("anything at all")
+
+    def test_fragmentation(self):
+        table = QueryRouteTable()
+        messages = table.to_messages(fragment_slots=1024)
+        patches = [m for m in messages if isinstance(m, QrpPatch)]
+        assert len(patches) == table.size // 1024
+        assert patches[0].sequence_count == len(patches)
+
+    def test_decode_errors(self):
+        with pytest.raises(ValueError):
+            decode_qrp(b"")
+        with pytest.raises(ValueError):
+            decode_qrp(b"\x99")
+        with pytest.raises(ValueError):
+            decode_qrp(b"\x00\x01")  # short reset
+
+    def test_overrun_patch_rejected(self):
+        reset = QrpReset(table_length=16, infinity=7)
+        patch = QrpPatch(1, 1, 8, b"\x00" * 32)
+        with pytest.raises(ValueError):
+            QueryRouteTable.from_messages([reset, patch])
+
+
+class TestCompressedPatches:
+    def test_zlib_patch_roundtrip(self):
+        from repro.gnutella.qrp import COMPRESSOR_ZLIB
+        patch = QrpPatch(sequence_number=1, sequence_count=1,
+                         entry_bits=8, data=b"\x00\x01" * 512,
+                         compressor=COMPRESSOR_ZLIB)
+        wire = encode_qrp(patch)
+        assert len(wire) < len(patch.data)  # actually compressed
+        assert decode_qrp(wire) == patch
+
+    def test_compressed_table_roundtrip(self):
+        table = QueryRouteTable()
+        table.build_from(["photoshop_crack.zip", "madonna_angel.mp3"])
+        wire = [encode_qrp(message)
+                for message in table.to_messages(compress=True)]
+        rebuilt = QueryRouteTable.from_messages(
+            decode_qrp(raw) for raw in wire)
+        assert rebuilt.might_match("photoshop crack")
+        assert not rebuilt.might_match("zebra")
+
+    def test_compression_shrinks_sparse_tables(self):
+        table = QueryRouteTable()
+        table.add_keyword("lonely")
+        plain = sum(len(encode_qrp(m)) for m in table.to_messages())
+        packed = sum(len(encode_qrp(m))
+                     for m in table.to_messages(compress=True))
+        assert packed < plain / 20  # sparse tables compress enormously
+
+    def test_corrupt_zlib_rejected(self):
+        from repro.gnutella.qrp import COMPRESSOR_ZLIB
+        raw = bytes([QrpPatch.variant, 1, 1, COMPRESSOR_ZLIB, 8]) + b"junk"
+        with pytest.raises(ValueError):
+            decode_qrp(raw)
+
+    def test_unknown_compressor_rejected(self):
+        raw = bytes([QrpPatch.variant, 1, 1, 0x42, 8]) + b"data"
+        with pytest.raises(ValueError):
+            decode_qrp(raw)
+        with pytest.raises(ValueError):
+            QrpPatch(1, 1, 8, b"x", compressor=0x42).encode()

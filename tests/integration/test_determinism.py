@@ -1,0 +1,38 @@
+"""Whole-campaign determinism: same seed, bit-identical measurement.
+
+The strongest regression property the reproduction offers: every table
+in EXPERIMENTS.md is a pure function of (seed, config, profile).
+"""
+
+from repro.core.measure import (CampaignConfig, run_limewire_campaign,
+                                run_openft_campaign)
+from repro.peers.profiles import GnutellaProfile, OpenFTProfile
+
+
+def _snapshot(store):
+    return [record.to_json() for record in store]
+
+
+class TestCampaignDeterminism:
+    def test_limewire_identical_runs(self):
+        config = CampaignConfig(seed=17, duration_days=0.2)
+        profile = GnutellaProfile().scaled(0.4)
+        first = run_limewire_campaign(config, profile=profile)
+        second = run_limewire_campaign(config, profile=profile)
+        assert first.store.queries_issued == second.store.queries_issued
+        assert _snapshot(first.store) == _snapshot(second.store)
+
+    def test_limewire_seed_changes_world(self):
+        profile = GnutellaProfile().scaled(0.4)
+        first = run_limewire_campaign(
+            CampaignConfig(seed=17, duration_days=0.2), profile=profile)
+        second = run_limewire_campaign(
+            CampaignConfig(seed=18, duration_days=0.2), profile=profile)
+        assert _snapshot(first.store) != _snapshot(second.store)
+
+    def test_openft_identical_runs(self):
+        config = CampaignConfig(seed=17, duration_days=0.2)
+        profile = OpenFTProfile().scaled(0.4)
+        first = run_openft_campaign(config, profile=profile)
+        second = run_openft_campaign(config, profile=profile)
+        assert _snapshot(first.store) == _snapshot(second.store)

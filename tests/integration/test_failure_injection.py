@@ -1,0 +1,49 @@
+"""Failure injection: the measurement under a lossy overlay.
+
+5% message loss breaks individual floods and share syncs, but the
+paper's shapes are ratios over thousands of responses -- they must
+survive (the 2006 Internet was not lossless either).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.analysis.concentration import top_n_share
+from repro.core.analysis.prevalence import compute_prevalence
+from repro.core.measure import (CampaignConfig, run_limewire_campaign,
+                                run_openft_campaign)
+from repro.peers.profiles import GnutellaProfile, OpenFTProfile
+
+
+@pytest.fixture(scope="module")
+def lossy_limewire():
+    return run_limewire_campaign(
+        CampaignConfig(seed=6, duration_days=0.5),
+        profile=replace(GnutellaProfile().scaled(0.5), loss_rate=0.05))
+
+
+class TestLossyLimewire:
+    def test_responses_still_collected(self, lossy_limewire):
+        assert len(lossy_limewire.store) > 500
+
+    def test_messages_actually_dropped(self, lossy_limewire):
+        transport = lossy_limewire.world.transport
+        assert transport.dropped > 0.02 * transport.delivered
+
+    def test_prevalence_band_holds(self, lossy_limewire):
+        fraction = compute_prevalence(lossy_limewire.store).fraction
+        assert 0.50 <= fraction <= 0.85
+
+    def test_concentration_holds(self, lossy_limewire):
+        assert top_n_share(lossy_limewire.store, 3) >= 0.95
+
+
+class TestLossyOpenFT:
+    def test_campaign_survives_loss(self):
+        result = run_openft_campaign(
+            CampaignConfig(seed=6, duration_days=0.5),
+            profile=replace(OpenFTProfile().scaled(0.5), loss_rate=0.05))
+        assert len(result.store) > 100
+        fraction = compute_prevalence(result.store).fraction
+        assert 0.0 <= fraction <= 0.15

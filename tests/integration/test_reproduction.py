@@ -1,0 +1,118 @@
+"""Integration tests: the paper's headline claims, within shape bands.
+
+These run against the shared 1-virtual-day campaigns (seed fixed in
+conftest).  Bands follow DESIGN.md: we reproduce shapes, not the exact
+2006 numbers.
+"""
+
+import pytest
+
+from repro.core.analysis.concentration import top_malware, top_n_share
+from repro.core.analysis.prevalence import compute_prevalence
+from repro.core.analysis.sizes import size_dictionary
+from repro.core.analysis.sources import (address_breakdown,
+                                         host_concentration,
+                                         top_host_share)
+from repro.core.analysis.timeseries import daily_series
+from repro.core.filtering.evaluate import evaluate_filter
+from repro.core.filtering.existing import ExistingLimewireFilter
+from repro.core.filtering.sizefilter import SizeBasedFilter
+from repro.malware.corpus import limewire_strains
+
+
+class TestC1Prevalence:
+    def test_limewire_prevalence_band(self, limewire_campaign):
+        # paper: 68%
+        fraction = compute_prevalence(limewire_campaign.store).fraction
+        assert 0.55 <= fraction <= 0.80
+
+    def test_openft_prevalence_band(self, openft_campaign):
+        # paper: 3%
+        fraction = compute_prevalence(openft_campaign.store).fraction
+        assert 0.01 <= fraction <= 0.08
+
+    def test_limewire_dwarfs_openft(self, limewire_campaign,
+                                    openft_campaign):
+        assert (compute_prevalence(limewire_campaign.store).fraction
+                > 8 * compute_prevalence(openft_campaign.store).fraction)
+
+
+class TestC2Concentration:
+    def test_limewire_top3_band(self, limewire_campaign):
+        # paper: 99%
+        assert top_n_share(limewire_campaign.store, 3) >= 0.95
+
+    def test_openft_top3_band(self, openft_campaign):
+        # paper: 75%
+        assert 0.60 <= top_n_share(openft_campaign.store, 3) <= 0.92
+
+    def test_limewire_sees_a_strain_tail(self, limewire_campaign):
+        # more strains than the top three appear in the data
+        assert len(top_malware(limewire_campaign.store)) >= 5
+
+
+class TestC3PrivateSources:
+    def test_private_share_band(self, limewire_campaign):
+        # paper: 28%
+        breakdown = address_breakdown(limewire_campaign.store)
+        assert 0.18 <= breakdown.fraction("private") <= 0.36
+
+    def test_no_loopback_or_reserved_sources(self, limewire_campaign):
+        breakdown = address_breakdown(limewire_campaign.store)
+        assert breakdown.counts.get("loopback", 0) == 0
+        assert breakdown.counts.get("reserved", 0) == 0
+
+
+class TestC4SingleHost:
+    def test_top_openft_strain_from_single_host(self, openft_campaign):
+        # paper: the top virus (67% of malicious responses) is served by a
+        # single host
+        rows = top_malware(openft_campaign.store)
+        assert rows, "OpenFT campaign saw no malware"
+        top_strain = rows[0].name
+        assert rows[0].share >= 0.45
+        assert top_host_share(openft_campaign.store,
+                              top_strain) == pytest.approx(1.0)
+
+    def test_limewire_malware_is_diffuse(self, limewire_campaign):
+        # contrast: Limewire's worms spread over many hosts
+        assert top_host_share(limewire_campaign.store) < 0.15
+        assert len(host_concentration(limewire_campaign.store)) > 30
+
+
+class TestC5C6Filtering:
+    def test_existing_filter_band(self, limewire_campaign):
+        # paper: ~6%
+        existing = ExistingLimewireFilter.stale_blocklist(limewire_strains())
+        report = evaluate_filter(existing, limewire_campaign.store)
+        assert 0.02 <= report.detection_rate <= 0.12
+
+    def test_size_filter_band(self, limewire_campaign):
+        # paper: >99% detection, very low false positives
+        size_filter = SizeBasedFilter.learn(limewire_campaign.store)
+        report = evaluate_filter(size_filter, limewire_campaign.store)
+        assert report.detection_rate >= 0.99
+        assert report.false_positive_rate <= 0.01
+
+    def test_size_filter_beats_existing_by_an_order(self, limewire_campaign):
+        existing = evaluate_filter(
+            ExistingLimewireFilter.stale_blocklist(limewire_strains()),
+            limewire_campaign.store)
+        size = evaluate_filter(SizeBasedFilter.learn(limewire_campaign.store),
+                               limewire_campaign.store)
+        assert size.detection_rate > 8 * existing.detection_rate
+
+    def test_size_dictionary_is_tiny(self, limewire_campaign):
+        # the whole point: a handful of integers covers the epidemic
+        profiles = size_dictionary(limewire_campaign.store, top_n=3)
+        total_sizes = sum(len(profile.common_sizes) for profile in profiles)
+        assert total_sizes <= 6
+
+
+class TestF3Stability:
+    def test_daily_shares_stable(self, limewire_campaign):
+        points = [point for point in daily_series(limewire_campaign.store)
+                  if point.downloadable > 50]
+        assert points
+        shares = [point.malicious_share for point in points]
+        assert max(shares) - min(shares) < 0.25

@@ -1,0 +1,73 @@
+"""Fixtures for OpenFT tests: a small hand-wired overlay."""
+
+import pytest
+
+from repro.files.catalog import CatalogConfig, ContentCatalog
+from repro.files.library import SharedFile, SharedLibrary
+from repro.malware.corpus import openft_strains
+from repro.malware.infection import HostInfection
+from repro.openft.constants import CLASS_SEARCH, CLASS_USER
+from repro.openft.network import OpenFTNetwork
+from repro.openft.nodes import OpenFTNode
+from repro.simnet.addresses import AddressAllocator
+from repro.simnet.transport import Transport
+
+
+class SmallFTWorld:
+    """2 search nodes, 8 users (user0 infected with the top strain)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.transport = Transport(sim)
+        self.allocator = AddressAllocator(sim.stream("addr"))
+        self.catalog = ContentCatalog(CatalogConfig(works=100),
+                                      sim.stream("catalog"))
+        self.strains = openft_strains()
+        stream = sim.stream("world")
+
+        self.search_nodes = [
+            OpenFTNode(sim, self.transport, f"search{i}",
+                       self.allocator.allocate(),
+                       klass=CLASS_SEARCH | CLASS_USER, max_children=100)
+            for i in range(2)
+        ]
+        self.users = []
+        for i in range(8):
+            library = SharedLibrary()
+            for _ in range(stream.randint(3, 10)):
+                version = self.catalog.sample_version(stream)
+                library.add(SharedFile.make(
+                    self.catalog.decorate_filename(version), version.size,
+                    version.extension, version.blob))
+            infection = None
+            if i == 0:
+                infection = HostInfection()
+                infection.infect(self.strains[0], library, stream,
+                                 resident_copies=10)
+            self.users.append(OpenFTNode(
+                sim, self.transport, f"user{i}",
+                self.allocator.allocate(behind_nat=(i == 1)),
+                klass=CLASS_USER, library=library, infection=infection))
+
+        self.network = OpenFTNetwork(sim, self.transport, self.search_nodes,
+                                     self.users, self.strains)
+        self.network.wire(sim.stream("topo"), parents_per_user=2)
+        sim.run_until(120.0)  # drain adoptions + share syncs
+
+        self.crawler = self.network.create_crawler(
+            "crawler", self.allocator.allocate())
+        sim.run_until(sim.now + 60.0)
+        self.results = []
+        self.crawler.on_search_result = self.results.append
+
+    def search(self, query, horizon=60.0):
+        self.results.clear()
+        search_id = self.crawler.originate_search(query)
+        self.sim.run_until(self.sim.now + horizon)
+        real = [r for r in self.results if not r.is_end_marker]
+        return search_id, real
+
+
+@pytest.fixture()
+def ft_world(sim):
+    return SmallFTWorld(sim)

@@ -1,0 +1,114 @@
+"""Tests for the world builders."""
+
+import pytest
+
+from repro.malware.corpus import limewire_strains, openft_strains
+from repro.peers.population import (build_gnutella_world,
+                                    build_openft_world,
+                                    proportioned_choices,
+                                    proportioned_flags)
+from repro.peers.profiles import GnutellaProfile, OpenFTProfile
+from repro.simnet.clock import days
+from repro.simnet.kernel import Simulator
+
+
+@pytest.fixture(scope="module")
+def small_gnutella():
+    sim = Simulator(seed=4)
+    profile = GnutellaProfile().scaled(0.25)
+    world = build_gnutella_world(sim, profile, limewire_strains(),
+                                 horizon_s=days(2))
+    return sim, profile, world
+
+
+@pytest.fixture(scope="module")
+def small_openft():
+    sim = Simulator(seed=4)
+    profile = OpenFTProfile().scaled(0.25)
+    world = build_openft_world(sim, profile, openft_strains(),
+                               horizon_s=days(2))
+    return sim, profile, world
+
+
+class TestProportioned:
+    def test_flags_exact_count(self, sim):
+        flags = proportioned_flags(sim.stream("f"), 100, 0.28)
+        assert sum(flags) == 28
+        assert len(flags) == 100
+
+    def test_flags_shuffled(self, sim):
+        flags = proportioned_flags(sim.stream("f"), 100, 0.5)
+        assert flags != sorted(flags, reverse=True)
+
+    def test_choices_exact_proportions(self, sim):
+        picks = proportioned_choices(sim.stream("c"), 100,
+                                     ["a", "b", "c"], [0.5, 0.3, 0.2])
+        assert picks.count("a") == 50
+        assert picks.count("b") == 30
+        assert len(picks) == 100
+
+
+class TestGnutellaWorld:
+    def test_ground_truth_counts_match_seeding(self, small_gnutella):
+        _, profile, world = small_gnutella
+        for strain_id, seeding in profile.seeding.items():
+            infected = world.infected_endpoints(strain_id)
+            assert len(infected) == seeding.initial_hosts
+
+    def test_infected_endpoints_have_infections(self, small_gnutella):
+        _, _, world = small_gnutella
+        for endpoint in world.infected_endpoints():
+            assert world.infections[endpoint].infected
+
+    def test_nat_proportion_exact(self, small_gnutella):
+        _, profile, world = small_gnutella
+        network = world.network
+        clean = [servent for endpoint, servent in network.servents.items()
+                 if endpoint.startswith("leaf")]
+        natted = sum(1 for servent in clean if servent.behind_nat)
+        assert natted == round(len(clean) * profile.clean_nat_fraction)
+
+    def test_propagation_grows_ground_truth(self, small_gnutella):
+        sim, profile, world = small_gnutella
+        sim.run_until(days(2))
+        for strain_id, seeding in profile.seeding.items():
+            infected = world.infected_endpoints(strain_id)
+            assert len(infected) == seeding.final_hosts
+
+    def test_churn_processes_started(self, small_gnutella):
+        _, profile, world = small_gnutella
+        expected = (profile.ultrapeers + profile.clean_leaves
+                    + sum(seed.final_hosts
+                          for seed in profile.seeding.values()))
+        assert len(world.churn_processes) == expected
+
+
+class TestOpenFTWorld:
+    def test_dedicated_host_exists_and_public(self, small_openft):
+        _, _, world = small_openft
+        dedicated = world.infected_endpoints("ft-share-a")
+        assert len(dedicated) == 1
+        node = world.network.nodes[dedicated[0]]
+        assert not node.address.behind_nat
+        # carries a large bait library
+        assert len(node.library) >= 50
+
+    def test_dedicated_host_always_online(self, small_openft):
+        sim, _, world = small_openft
+        dedicated = world.infected_endpoints("ft-share-a")[0]
+        sim.run_until(days(2))
+        assert world.network.nodes[dedicated].is_online()
+
+    def test_users_adopted_after_drain(self, small_openft):
+        sim, _, world = small_openft
+        sim.run_until(days(2))
+        adopted = sum(1 for node in world.network.user_nodes
+                      if node.parent_ids)
+        assert adopted > 0.8 * len(world.network.user_nodes)
+
+    def test_ground_truth_matches_seeding(self, small_openft):
+        sim, profile, world = small_openft
+        sim.run_until(days(2))
+        for strain_id, seeding in profile.seeding.items():
+            assert (len(world.infected_endpoints(strain_id))
+                    == seeding.final_hosts)

@@ -1,0 +1,84 @@
+"""Tests for population profiles."""
+
+import pytest
+
+from repro.malware.corpus import limewire_strains, openft_strains
+from repro.peers.profiles import (GnutellaProfile, OpenFTProfile,
+                                  StrainSeeding)
+
+
+class TestStrainSeeding:
+    def test_valid(self):
+        StrainSeeding(initial_hosts=2, final_hosts=5)
+
+    def test_final_below_initial_rejected(self):
+        with pytest.raises(ValueError):
+            StrainSeeding(initial_hosts=5, final_hosts=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StrainSeeding(initial_hosts=-1, final_hosts=2)
+
+    def test_dedicated_must_be_single_host(self):
+        with pytest.raises(ValueError):
+            StrainSeeding(initial_hosts=2, final_hosts=2, dedicated=True)
+
+
+class TestGnutellaProfile:
+    def test_seeding_covers_corpus(self):
+        profile = GnutellaProfile()
+        corpus_ids = {strain.strain_id for strain in limewire_strains()}
+        assert set(profile.seeding) == corpus_ids
+
+    def test_top_strain_has_most_hosts(self):
+        profile = GnutellaProfile()
+        top = profile.seeding["lw-echo-a"]
+        assert all(top.final_hosts >= seed.final_hosts
+                   for seed in profile.seeding.values())
+
+    def test_scaled_preserves_ratios(self):
+        profile = GnutellaProfile()
+        scaled = profile.scaled(2.0)
+        assert scaled.clean_leaves == 2 * profile.clean_leaves
+        assert scaled.ultrapeers == 2 * profile.ultrapeers
+        original = profile.seeding["lw-echo-a"].final_hosts
+        assert scaled.seeding["lw-echo-a"].final_hosts == 2 * original
+
+    def test_scaled_down_keeps_minimums(self):
+        scaled = GnutellaProfile().scaled(0.01)
+        assert scaled.ultrapeers >= 4
+        assert scaled.clean_leaves >= 10
+        assert all(seed.final_hosts >= 1
+                   for seed in scaled.seeding.values())
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            GnutellaProfile().scaled(0.0)
+
+
+class TestOpenFTProfile:
+    def test_seeding_covers_corpus(self):
+        profile = OpenFTProfile()
+        corpus_ids = {strain.strain_id for strain in openft_strains()}
+        assert set(profile.seeding) == corpus_ids
+
+    def test_exactly_one_dedicated_strain(self):
+        profile = OpenFTProfile()
+        dedicated = [strain_id for strain_id, seed in profile.seeding.items()
+                     if seed.dedicated]
+        assert dedicated == ["ft-share-a"]
+
+    def test_dedicated_host_has_big_library(self):
+        profile = OpenFTProfile()
+        top = profile.seeding["ft-share-a"]
+        assert top.resident_copies >= 10 * max(
+            seed.resident_copies
+            for strain_id, seed in profile.seeding.items()
+            if not seed.dedicated)
+
+    def test_scaled(self):
+        profile = OpenFTProfile()
+        scaled = profile.scaled(0.5)
+        assert scaled.user_nodes == round(profile.user_nodes * 0.5)
+        with pytest.raises(ValueError):
+            profile.scaled(-1.0)

@@ -1,0 +1,117 @@
+"""Tests for signatures, databases and the scan engine."""
+
+import pytest
+
+from repro.files.payload import Blob
+from repro.malware.corpus import limewire_strains
+from repro.malware.infection import dropper_archive_blob, strain_body_blob
+from repro.scanner.database import SignatureDatabase, database_for_strains
+from repro.scanner.engine import ScanEngine
+from repro.scanner.signatures import Signature, SignatureKind
+
+
+class TestSignature:
+    def test_pattern_signature(self):
+        signature = Signature.for_pattern("X", b"BYTES")
+        assert signature.kind is SignatureKind.PATTERN
+
+    def test_hash_signature(self):
+        signature = Signature.for_hash("X", "urn:sha1:ABC")
+        assert signature.kind is SignatureKind.HASH
+
+    def test_pattern_requires_bytes(self):
+        with pytest.raises(ValueError):
+            Signature(name="X", kind=SignatureKind.PATTERN)
+
+    def test_hash_requires_urn(self):
+        with pytest.raises(ValueError):
+            Signature(name="X", kind=SignatureKind.HASH)
+
+
+class TestDatabase:
+    def test_full_coverage(self):
+        strains = limewire_strains()
+        database = database_for_strains(strains)
+        assert len(database) == len(strains)
+        assert set(database.names()) == {s.av_name for s in strains}
+
+    def test_partial_coverage_keeps_prefix(self):
+        strains = limewire_strains()
+        database = database_for_strains(strains, coverage=0.3)
+        assert len(database) == round(len(strains) * 0.3)
+        assert strains[0].av_name in database.names()
+        assert strains[-1].av_name not in database.names()
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            database_for_strains(limewire_strains(), coverage=1.5)
+
+    def test_hash_lookup(self):
+        database = SignatureDatabase([Signature.for_hash("H", "urn:sha1:A")])
+        assert database.match_hash("urn:sha1:A").name == "H"
+        assert database.match_hash("urn:sha1:B") is None
+
+
+class TestEngine:
+    @pytest.fixture()
+    def strains(self):
+        return limewire_strains()
+
+    @pytest.fixture()
+    def engine(self, strains):
+        return ScanEngine(database_for_strains(strains))
+
+    def test_clean_blob(self, engine):
+        verdict = engine.scan(Blob(content_key="clean", extension="exe",
+                                   size=1234))
+        assert verdict.clean
+        assert verdict.primary_name is None
+
+    def test_detects_body(self, engine, strains):
+        verdict = engine.scan(strain_body_blob(strains[0]))
+        assert not verdict.clean
+        assert verdict.primary_name == strains[0].av_name
+        assert verdict.detections[0].location == "/"
+
+    def test_detects_inside_archive(self, engine, strains):
+        dropper = next(s for s in strains
+                       if s.behaviour.value == "trojan_dropper")
+        verdict = engine.scan(dropper_archive_blob(dropper))
+        assert not verdict.clean
+        assert verdict.primary_name == dropper.av_name
+        assert verdict.detections[0].location == "/0"
+
+    def test_depth_limit_truncates(self, strains):
+        engine = ScanEngine(database_for_strains(strains), max_depth=0)
+        dropper = next(s for s in strains
+                       if s.behaviour.value == "trojan_dropper")
+        verdict = engine.scan(dropper_archive_blob(dropper))
+        assert verdict.clean  # marker is below the depth limit
+        assert verdict.truncated
+
+    def test_hash_signature_detection(self, strains):
+        body = strain_body_blob(strains[0])
+        database = SignatureDatabase(
+            [Signature.for_hash("ByHash", body.sha1_urn())])
+        engine = ScanEngine(database)
+        assert engine.scan(body).primary_name == "ByHash"
+
+    def test_members_scanned_counted(self, engine, strains):
+        dropper = next(s for s in strains
+                       if s.behaviour.value == "trojan_dropper")
+        verdict = engine.scan(dropper_archive_blob(dropper))
+        assert verdict.members_scanned == 2
+
+    def test_scans_performed_counter(self, engine):
+        engine.scan(Blob(content_key="c", extension="exe", size=1))
+        engine.scan(Blob(content_key="d", extension="exe", size=1))
+        assert engine.scans_performed == 2
+
+    def test_negative_depth_rejected(self, strains):
+        with pytest.raises(ValueError):
+            ScanEngine(database_for_strains(strains), max_depth=-1)
+
+    def test_partial_coverage_misses_tail(self, strains):
+        engine = ScanEngine(database_for_strains(strains, coverage=0.2))
+        assert not engine.scan(strain_body_blob(strains[0])).clean
+        assert engine.scan(strain_body_blob(strains[-1])).clean

@@ -1,0 +1,78 @@
+"""Tests for session churn."""
+
+import pytest
+
+from repro.simnet.churn import (ALWAYS_ON, HOME_PEER, SERVER_LIKE,
+                                ChurnProcess, ChurnProfile)
+from repro.simnet.clock import days, hours
+
+
+class TestProfiles:
+    def test_stationary_availability_home(self):
+        assert HOME_PEER.stationary_availability() == pytest.approx(1 / 3)
+
+    def test_always_on_nearly_one(self):
+        assert ALWAYS_ON.stationary_availability() > 0.999
+
+    def test_server_like_majority_up(self):
+        assert SERVER_LIKE.stationary_availability() > 0.8
+
+
+class TestChurnProcess:
+    def run_process(self, sim, profile, horizon):
+        state = {"online_time": 0.0, "last_change": 0.0, "online": False}
+
+        def on_up():
+            state["last_change"] = sim.now
+            state["online"] = True
+
+        def on_down():
+            if state["online"]:
+                state["online_time"] += sim.now - state["last_change"]
+            state["online"] = False
+            state["last_change"] = sim.now
+
+        process = ChurnProcess(sim, sim.stream("churn"), profile,
+                               on_up=on_up, on_down=on_down)
+        process.start()
+        sim.run_until(horizon)
+        if state["online"]:
+            state["online_time"] += horizon - state["last_change"]
+        return process, state
+
+    def test_initial_state_announced(self, sim):
+        calls = []
+        process = ChurnProcess(sim, sim.stream("c"), ALWAYS_ON,
+                               on_up=lambda: calls.append("up"),
+                               on_down=lambda: calls.append("down"))
+        process.start()
+        assert calls in (["up"], ["down"])
+        assert calls == ["up"]  # ALWAYS_ON starts online
+
+    def test_availability_approximates_stationary(self, sim):
+        _, state = self.run_process(sim, HOME_PEER, days(30))
+        availability = state["online_time"] / days(30)
+        assert 0.2 < availability < 0.5  # stationary is 1/3
+
+    def test_always_on_stays_up(self, sim):
+        process, state = self.run_process(sim, ALWAYS_ON, days(10))
+        availability = state["online_time"] / days(10)
+        assert availability > 0.99
+
+    def test_transitions_counted(self, sim):
+        process, _ = self.run_process(sim, HOME_PEER, days(10))
+        # ~10 days of ~6h cycles -> roughly 40 transitions
+        assert 10 < process.transitions < 120
+
+    def test_until_stops_transitions(self, sim):
+        profile = ChurnProfile(mean_session_s=hours(1),
+                               mean_offline_s=hours(1),
+                               initial_online_probability=1.0)
+        process = ChurnProcess(sim, sim.stream("c"), profile,
+                               on_up=lambda: None, on_down=lambda: None,
+                               until=hours(5))
+        process.start()
+        sim.run_until(days(5))
+        transitions_at_cutoff = process.transitions
+        sim.run_until(days(10))
+        assert process.transitions == transitions_at_cutoff

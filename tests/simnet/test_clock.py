@@ -1,0 +1,53 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.simnet.clock import (SECONDS_PER_DAY, VirtualClock, days, hours,
+                                minutes)
+
+
+class TestConversions:
+    def test_minutes(self):
+        assert minutes(2) == 120.0
+
+    def test_hours(self):
+        assert hours(1.5) == 5400.0
+
+    def test_days(self):
+        assert days(2) == 2 * SECONDS_PER_DAY
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_ok(self):
+        clock = VirtualClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_no_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.999)
+
+    def test_day_index(self):
+        clock = VirtualClock()
+        assert clock.day_index() == 0
+        clock.advance_to(SECONDS_PER_DAY - 1)
+        assert clock.day_index() == 0
+        clock.advance_to(SECONDS_PER_DAY)
+        assert clock.day_index() == 1
+        clock.advance_to(2.5 * SECONDS_PER_DAY)
+        assert clock.day_index() == 2
+
+    def test_repr_mentions_time(self):
+        assert "12.5" in repr(VirtualClock(12.5))

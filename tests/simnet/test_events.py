@@ -1,0 +1,69 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.simnet.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(1.0, lambda label=label: order.append(label))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == list("abcde")
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append(1))
+        queue.push(2.0, lambda: fired.append(2))
+        event.cancel()
+        queue.note_cancelled()
+        while (item := queue.pop()) is not None:
+            item.callback()
+        assert fired == [2]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        first.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_label_preserved(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="tick")
+        assert event.label == "tick"

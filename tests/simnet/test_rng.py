@@ -1,0 +1,113 @@
+"""Tests for deterministic random streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.rng import SeededStream, StreamRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_nearby_masters_uncorrelated(self):
+        seeds = {derive_seed(master, "x") for master in range(100)}
+        assert len(seeds) == 100
+
+
+class TestSeededStream:
+    def test_same_seed_same_sequence(self):
+        a = SeededStream(7, "s")
+        b = SeededStream(7, "s")
+        assert [a.random() for _ in range(20)] == [
+            b.random() for _ in range(20)]
+
+    def test_streams_independent(self):
+        # drawing extra values from one stream must not shift another
+        registry_a = StreamRegistry(7)
+        registry_b = StreamRegistry(7)
+        registry_a.stream("x").random()  # extra draw on x only in a
+        assert (registry_a.stream("y").random()
+                == registry_b.stream("y").random())
+
+    def test_randint_bounds(self):
+        stream = SeededStream(1, "r")
+        values = [stream.randint(3, 5) for _ in range(200)]
+        assert set(values) <= {3, 4, 5}
+        assert set(values) == {3, 4, 5}  # all values reachable
+
+    def test_uniform_bounds(self):
+        stream = SeededStream(1, "u")
+        for _ in range(100):
+            value = stream.uniform(2.0, 3.0)
+            assert 2.0 <= value < 3.0001
+
+    def test_bernoulli_extremes(self):
+        stream = SeededStream(1, "b")
+        assert not any(stream.bernoulli(0.0) for _ in range(50))
+        assert all(stream.bernoulli(1.0) for _ in range(50))
+
+    def test_bytes_length_and_determinism(self):
+        a = SeededStream(3, "bytes")
+        b = SeededStream(3, "bytes")
+        assert a.bytes(16) == b.bytes(16)
+        assert len(a.bytes(5)) == 5
+        assert a.bytes(0) == b""
+
+    def test_geometric_mean_close(self):
+        stream = SeededStream(5, "g")
+        draws = [stream.geometric(0.25) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 3.5 < mean < 4.5  # E = 1/p = 4
+
+    def test_geometric_rejects_bad_p(self):
+        stream = SeededStream(5, "g")
+        with pytest.raises(ValueError):
+            stream.geometric(0.0)
+        with pytest.raises(ValueError):
+            stream.geometric(1.5)
+
+    def test_shuffle_permutes(self):
+        stream = SeededStream(5, "sh")
+        items = list(range(30))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_sample_without_replacement(self):
+        stream = SeededStream(5, "sa")
+        picked = stream.sample(list(range(10)), 4)
+        assert len(picked) == len(set(picked)) == 4
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_zipf_rank_in_range(self, n, alpha):
+        stream = SeededStream(9, f"z{n}")
+        for _ in range(10):
+            assert 1 <= stream.zipf_rank(n, alpha) <= n
+
+    def test_zipf_rank_skews_low(self):
+        stream = SeededStream(9, "zipf")
+        draws = [stream.zipf_rank(100, 1.0) for _ in range(2000)]
+        assert draws.count(1) > draws.count(50)
+
+
+class TestStreamRegistry:
+    def test_same_name_same_object(self):
+        registry = StreamRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_names_sorted(self):
+        registry = StreamRegistry(1)
+        registry.stream("b")
+        registry.stream("a")
+        assert registry.names() == ["a", "b"]

@@ -1,0 +1,94 @@
+"""Tests for the transport trace tap."""
+
+import pytest
+
+from repro.simnet.trace import TransportTrace
+from repro.simnet.transport import Transport
+
+
+def make_world(sim):
+    transport = Transport(sim)
+    transport.attach("a", lambda env: None)
+    transport.attach("b", lambda env: None)
+    return transport
+
+
+def classify_by_first_byte(payload: bytes) -> str:
+    return {0x01: "one", 0x02: "two"}.get(payload[0] if payload else -1,
+                                          "other")
+
+
+class TestTransportTrace:
+    def test_captures_deliveries(self, sim):
+        transport = make_world(sim)
+        trace = TransportTrace(transport, classify_by_first_byte)
+        trace.install()
+        transport.send("a", "b", b"\x01payload")
+        transport.send("b", "a", b"\x02x")
+        sim.run_until(30.0)
+        assert trace.captured == 2
+        messages = trace.messages()
+        assert messages[0].kind in ("one", "two")
+        assert messages[0].size > 0
+
+    def test_counts_and_bytes_by_kind(self, sim):
+        transport = make_world(sim)
+        with TransportTrace(transport, classify_by_first_byte) as trace:
+            transport.send("a", "b", b"\x01aaaa")
+            transport.send("a", "b", b"\x01bb")
+            transport.send("a", "b", b"\x02c")
+            sim.run_until(30.0)
+        assert trace.counts_by_kind() == {"one": 2, "two": 1}
+        assert trace.bytes_by_kind() == {"one": 8, "two": 2}
+        assert trace.total_bytes() == 10
+
+    def test_uninstall_stops_capture(self, sim):
+        transport = make_world(sim)
+        trace = TransportTrace(transport, classify_by_first_byte)
+        trace.install()
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        trace.uninstall()
+        transport.send("a", "b", b"\x01y")
+        sim.run_until(20.0)
+        assert trace.captured == 1
+
+    def test_delivery_still_happens(self, sim):
+        transport = Transport(sim)
+        inbox = []
+        transport.attach("a", lambda env: None)
+        transport.attach("b", inbox.append)
+        with TransportTrace(transport, classify_by_first_byte):
+            transport.send("a", "b", b"\x01x")
+            sim.run_until(10.0)
+        assert len(inbox) == 1
+
+    def test_broken_classifier_does_not_break_delivery(self, sim):
+        transport = Transport(sim)
+        inbox = []
+        transport.attach("a", lambda env: None)
+        transport.attach("b", inbox.append)
+
+        def explode(payload):
+            raise RuntimeError("boom")
+
+        with TransportTrace(transport, explode) as trace:
+            transport.send("a", "b", b"x")
+            sim.run_until(10.0)
+        assert len(inbox) == 1
+        assert trace.messages()[0].kind == "unparseable"
+
+    def test_ring_bounded(self, sim):
+        transport = make_world(sim)
+        with TransportTrace(transport, classify_by_first_byte,
+                            capacity=5) as trace:
+            for _ in range(20):
+                transport.send("a", "b", b"\x01x")
+            sim.run_until(60.0)
+        assert trace.captured == 20
+        assert len(trace.messages()) == 5
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            TransportTrace(make_world(sim), classify_by_first_byte,
+                           capacity=0)

@@ -1,0 +1,98 @@
+"""Tests for the virtual transport."""
+
+import pytest
+
+from repro.simnet.rng import SeededStream
+from repro.simnet.transport import LatencyModel, Transport
+
+
+def make_pair(sim, loss_rate=0.0):
+    transport = Transport(sim, loss_rate=loss_rate)
+    inbox_a, inbox_b = [], []
+    transport.attach("a", lambda env: inbox_a.append(env))
+    transport.attach("b", lambda env: inbox_b.append(env))
+    return transport, inbox_a, inbox_b
+
+
+class TestDelivery:
+    def test_basic_delivery(self, sim):
+        transport, _, inbox_b = make_pair(sim)
+        assert transport.send("a", "b", b"hello")
+        sim.run_until(10.0)
+        assert len(inbox_b) == 1
+        assert inbox_b[0].payload == b"hello"
+        assert inbox_b[0].src == "a"
+
+    def test_delivery_has_latency(self, sim):
+        transport, _, inbox_b = make_pair(sim)
+        received_at = []
+        transport.detach("b")
+        transport.attach("b2", lambda env: received_at.append(sim.now))
+        transport.send("a", "b2", b"x")
+        sim.run_until(10.0)
+        assert received_at and received_at[0] > 0.0
+
+    def test_unknown_destination_dropped(self, sim):
+        transport, _, _ = make_pair(sim)
+        assert not transport.send("a", "nobody", b"x")
+        assert transport.dropped == 1
+
+    def test_offline_sender_dropped(self, sim):
+        transport, _, inbox_b = make_pair(sim)
+        transport.set_online("a", False)
+        assert not transport.send("a", "b", b"x")
+        sim.run_until(10.0)
+        assert inbox_b == []
+
+    def test_receiver_offline_at_delivery_loses_message(self, sim):
+        transport, _, inbox_b = make_pair(sim)
+        transport.send("a", "b", b"x")
+        transport.set_online("b", False)  # goes down while in flight
+        sim.run_until(10.0)
+        assert inbox_b == []
+        assert transport.dropped == 1
+
+    def test_counters(self, sim):
+        transport, _, _ = make_pair(sim)
+        transport.send("a", "b", b"x")
+        transport.send("b", "a", b"y")
+        sim.run_until(10.0)
+        assert transport.delivered == 2
+        assert transport.endpoint("a").sent == 1
+        assert transport.endpoint("a").received == 1
+
+    def test_double_attach_rejected(self, sim):
+        transport, _, _ = make_pair(sim)
+        with pytest.raises(ValueError):
+            transport.attach("a", lambda env: None)
+
+    def test_is_online_for_unknown_endpoint(self, sim):
+        transport, _, _ = make_pair(sim)
+        assert not transport.is_online("ghost")
+
+
+class TestLoss:
+    def test_lossy_link_drops_some(self, sim):
+        transport, _, inbox_b = make_pair(sim, loss_rate=0.5)
+        for _ in range(200):
+            transport.send("a", "b", b"x")
+        sim.run_until(100.0)
+        assert 40 < len(inbox_b) < 160
+
+    def test_invalid_loss_rate(self, sim):
+        with pytest.raises(ValueError):
+            Transport(sim, loss_rate=1.0)
+
+
+class TestLatencyModel:
+    def test_delay_in_bounds(self):
+        model = LatencyModel()
+        stream = SeededStream(1, "lat")
+        for _ in range(100):
+            delay = model.delay(stream, 0)
+            assert model.base_min_s <= delay <= model.base_max_s
+
+    def test_serialization_grows_with_size(self):
+        model = LatencyModel(base_min_s=0.0, base_max_s=0.0)
+        stream = SeededStream(1, "lat")
+        assert model.delay(stream, 125_000) == pytest.approx(1.0)

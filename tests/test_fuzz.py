@@ -1,0 +1,114 @@
+"""Fuzz/robustness tests: hostile bytes must fail *cleanly*.
+
+Both protocol stacks parse data from arbitrary peers, so every decoder
+must either return a value or raise its module's typed error -- never an
+unrelated exception -- and node message handlers must swallow garbage
+while counting it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnutella.ggep import GgepError, decode_ggep
+from repro.gnutella.handshake import HandshakeError, HandshakeMessage
+from repro.gnutella.messages import MessageError, parse_frame
+from repro.gnutella.qrp import decode_qrp
+from repro.openft.packets import PacketError, decode_packet
+from repro.transfer.http import HttpError, HttpRequest, HttpResponse
+
+_settings = settings(max_examples=200, deadline=None)
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_gnutella_frame_parser_total(data):
+    try:
+        parse_frame(data)
+    except MessageError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_openft_packet_parser_total(data):
+    try:
+        decode_packet(data)
+    except PacketError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_ggep_parser_total(data):
+    try:
+        decode_ggep(data)
+    except GgepError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_qrp_parser_total(data):
+    try:
+        decode_qrp(data)
+    except ValueError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_handshake_parser_total(data):
+    try:
+        HandshakeMessage.decode(data)
+    except HandshakeError:
+        pass
+
+
+@given(st.binary(max_size=200))
+@_settings
+def test_http_parsers_total(data):
+    for parser in (HttpRequest.decode, HttpResponse.decode):
+        try:
+            parser(data)
+        except HttpError:
+            pass
+
+
+class TestNodesSwallowGarbage:
+    def test_gnutella_servent(self, sim):
+        from repro.gnutella.servent import GnutellaServent
+        from repro.simnet.addresses import AddressAllocator
+        from repro.simnet.rng import SeededStream
+        from repro.simnet.transport import Transport
+
+        transport = Transport(sim)
+        allocator = AddressAllocator(sim.stream("a"))
+        servent = GnutellaServent(sim, transport, "victim",
+                                  allocator.allocate(), role="ultrapeer")
+        transport.attach("attacker", lambda env: None)
+        stream = SeededStream(13, "fuzz")
+        for _ in range(100):
+            transport.send("attacker", "victim",
+                           stream.bytes(stream.randint(0, 80)))
+        sim.run_until(60.0)
+        assert servent.stats.decode_errors == 100
+        assert servent.is_online()
+
+    def test_openft_node(self, sim):
+        from repro.openft.constants import CLASS_SEARCH
+        from repro.openft.nodes import OpenFTNode
+        from repro.simnet.addresses import AddressAllocator
+        from repro.simnet.rng import SeededStream
+        from repro.simnet.transport import Transport
+
+        transport = Transport(sim)
+        allocator = AddressAllocator(sim.stream("a"))
+        node = OpenFTNode(sim, transport, "victim", allocator.allocate(),
+                          klass=CLASS_SEARCH)
+        transport.attach("attacker", lambda env: None)
+        stream = SeededStream(14, "fuzz")
+        for _ in range(100):
+            transport.send("attacker", "victim",
+                           stream.bytes(stream.randint(0, 80)))
+        sim.run_until(60.0)
+        assert node.stats.decode_errors == 100
