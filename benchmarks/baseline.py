@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Benchmark baseline runner: record the perf trajectory of the repo.
+
+Times the four hot paths the campaign fast-path work targets --
+
+* **events/sec**: raw kernel throughput, including a churn-heavy phase
+  that cancels half its timers (exercises heap compaction);
+* **scans/sec**: the scan engine over a duplicate-heavy blob workload
+  (the paper's: a handful of malware instances dominate responses), with
+  the verdict-cache hit rate;
+* **replication wall-clock**: a multi-seed `run_replications` campaign,
+  serial vs process-pool parallel;
+
+-- and writes the numbers to ``benchmarks/BENCH_<rev>.json`` so
+``scripts/bench_compare.py`` can diff any two revisions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/baseline.py [--quick] [--out DIR]
+                                                 [--workers W] [--rev R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def _detect_rev() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True,
+                             cwd=Path(__file__).resolve().parent)
+        return out.stdout.strip() or "dev"
+    except (OSError, subprocess.CalledProcessError):
+        return "dev"
+
+
+def bench_events(total: int) -> dict:
+    """Kernel throughput: schedule, cancel half, drain."""
+    from repro.simnet.kernel import Simulator
+
+    sim = Simulator(seed=7)
+    counter = [0]
+
+    def fire() -> None:
+        counter[0] += 1
+
+    events = [sim.at(float(i % 1000) + 1.0, fire) for i in range(total)]
+    # churn: cancel 3 of every 5 timers, like peers going offline --
+    # past the 50% dead fraction so heap compaction kicks in
+    for index, event in enumerate(events):
+        if index % 5 < 3:
+            sim.cancel(event)
+    start = time.perf_counter()
+    sim.run_all()
+    elapsed = time.perf_counter() - start
+    fired = counter[0]
+    return {
+        "events_per_sec": fired / elapsed if elapsed else 0.0,
+        "events_fired": fired,
+        "events_cancelled": total - fired,
+        "queue_compactions": sim.queue.compactions,
+    }
+
+
+def bench_scans(scans: int) -> dict:
+    """Scan throughput over a duplicate-heavy corpus (cache + matcher)."""
+    import random
+
+    from repro.files.payload import Blob
+    from repro.malware.corpus import limewire_strains
+    from repro.malware.infection import strain_body_blob
+    from repro.scanner.database import database_for_strains
+    from repro.scanner.engine import ScanEngine
+
+    strains = limewire_strains()
+    engine = ScanEngine(database_for_strains(strains))
+    infected = [strain_body_blob(strain) for strain in strains]
+    clean = [Blob(content_key=f"clean-{i}", extension="mp3",
+                  size=3_000_000 + i) for i in range(200)]
+    # paper-shaped workload: the top strains dominate, clean files are
+    # drawn from a modest pool -- lots of byte-identical repeats
+    rng = random.Random(42)
+    corpus = []
+    for _ in range(scans):
+        if rng.random() < 0.65:
+            corpus.append(infected[min(rng.randrange(len(infected)),
+                                       rng.randrange(len(infected)))])
+        else:
+            corpus.append(clean[rng.randrange(len(clean))])
+
+    start = time.perf_counter()
+    detected = sum(1 for blob in corpus if not engine.scan(blob).clean)
+    elapsed = time.perf_counter() - start
+    return {
+        "scans_per_sec": scans / elapsed if elapsed else 0.0,
+        "scans": scans,
+        "scan_detected": detected,
+        "cache_hit_rate": engine.cache_hit_rate,
+    }
+
+
+def bench_replications(seeds: int, days: float, workers: int) -> dict:
+    """Multi-seed campaign wall-clock, serial vs parallel."""
+    from repro.core.experiments import run_replications
+    from repro.core.measure.campaign import CampaignConfig
+    from repro.peers.profiles import GnutellaProfile
+
+    config = CampaignConfig(seed=0, duration_days=days)
+    profile = GnutellaProfile().scaled(0.5)
+    seed_list = tuple(range(1, seeds + 1))
+
+    start = time.perf_counter()
+    serial = run_replications("limewire", seed_list, config,
+                              profile=profile, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_replications("limewire", seed_list, config,
+                                profile=profile, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    for name in serial.metrics:
+        if serial.metrics[name].values != parallel.metrics[name].values:
+            raise AssertionError(
+                f"parallel metrics diverged from serial for {name!r}")
+    return {
+        "replication_seeds": seeds,
+        "replication_days": days,
+        "replication_workers": workers,
+        "replication_serial_s": serial_s,
+        "replication_parallel_s": parallel_s,
+        "replication_speedup": serial_s / parallel_s if parallel_s else 0.0,
+    }
+
+
+def run(quick: bool, workers: int) -> dict:
+    results = {}
+    print("benchmarking kernel events...", flush=True)
+    results.update(bench_events(20_000 if quick else 200_000))
+    print(f"  {results['events_per_sec']:,.0f} events/sec "
+          f"({results['queue_compactions']} compactions)")
+    print("benchmarking scan engine...", flush=True)
+    results.update(bench_scans(5_000 if quick else 50_000))
+    print(f"  {results['scans_per_sec']:,.0f} scans/sec "
+          f"(cache hit rate {results['cache_hit_rate']:.1%})")
+    print("benchmarking replication campaign...", flush=True)
+    results.update(bench_replications(
+        seeds=2 if quick else 8, days=0.1 if quick else 0.25,
+        workers=workers))
+    print(f"  serial {results['replication_serial_s']:.2f}s, "
+          f"parallel {results['replication_parallel_s']:.2f}s "
+          f"(speedup {results['replication_speedup']:.2f}x)")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent,
+                        help="directory for BENCH_<rev>.json")
+    parser.add_argument("--workers", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="workers for the parallel replication leg")
+    parser.add_argument("--rev", default=None,
+                        help="revision label (default: git short hash)")
+    args = parser.parse_args(argv)
+
+    rev = args.rev or _detect_rev()
+    results = run(quick=args.quick, workers=args.workers)
+    payload = {
+        "rev": rev,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    args.out.mkdir(parents=True, exist_ok=True)
+    path = args.out / f"BENCH_{rev}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,14 @@ Runs one Limewire and one OpenFT campaign, saves the raw measurement
 stores as JSON-lines (so they can be re-analysed without re-simulating,
 like the paper's month of logs), and prints T1-T6 and F1-F4.
 
+With ``--replicate N`` the study additionally re-runs each network under
+N seeds (fanned out over ``--workers`` processes, one per CPU by
+default) and prints the seed-dependent range of every headline metric.
+
 Usage::
 
     python examples/full_study.py [--days N] [--seed S] [--out DIR]
+                                  [--replicate N] [--workers W]
 """
 
 import argparse
@@ -17,6 +22,7 @@ from repro.core import CampaignConfig, run_limewire_campaign, \
     run_openft_campaign
 from repro.core import reports
 from repro.core.analysis import top_malware
+from repro.core.experiments import run_replications
 from repro.core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
                                   evaluate_filters)
 from repro.malware.corpus import limewire_strains
@@ -29,6 +35,12 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2)
     parser.add_argument("--out", type=Path, default=Path("study_output"),
                         help="directory for raw measurement stores")
+    parser.add_argument("--replicate", type=int, default=0,
+                        help="also run N multi-seed replications per "
+                             "network (0 = skip)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes for the replication fan-out "
+                             "(default: one per CPU)")
     args = parser.parse_args()
 
     config = CampaignConfig(seed=args.seed, duration_days=args.days)
@@ -68,6 +80,16 @@ def main() -> None:
     print(reports.render_f2_size_distribution(limewire.store), end="\n\n")
     print(reports.render_f3_timeseries(limewire.store), end="\n\n")
     print(reports.render_f4_host_cdf(openft.store, top_ft))
+
+    if args.replicate > 0:
+        seeds = tuple(range(args.seed, args.seed + args.replicate))
+        print(f"\nreplicating over seeds {list(seeds)} "
+              f"(parallel workers={args.workers or 'auto'})...")
+        for network in ("limewire", "openft"):
+            report = run_replications(network, seeds, config,
+                                      workers=args.workers)
+            print()
+            print(report.render())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<rev>.json files written by benchmarks/baseline.py.
+
+Prints a metric-by-metric table (baseline vs current, % change) and
+flags regressions: a throughput metric that dropped, or a wall-clock
+metric that grew, by more than ``--threshold`` percent.  With
+``--strict`` a flagged regression makes the script exit non-zero, so CI
+can gate on it.
+
+Usage::
+
+    python scripts/bench_compare.py BENCH_old.json BENCH_new.json
+    python scripts/bench_compare.py            # two newest in benchmarks/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric -> True when higher is better (False: lower is better).
+#: Metrics absent here are informational and never flagged.
+DIRECTIONS = {
+    "events_per_sec": True,
+    "scans_per_sec": True,
+    "cache_hit_rate": True,
+    "replication_serial_s": False,
+    "replication_parallel_s": False,
+    "replication_speedup": True,
+}
+
+
+def load(path: Path) -> dict:
+    with path.open() as handle:
+        payload = json.load(handle)
+    if "results" not in payload or "rev" not in payload:
+        raise ValueError(f"{path} is not a baseline.py benchmark file")
+    return payload
+
+
+def find_default_pair(directory: Path):
+    candidates = sorted(directory.glob("BENCH_*.json"),
+                        key=lambda p: p.stat().st_mtime)
+    if len(candidates) < 2:
+        raise FileNotFoundError(
+            f"need two BENCH_*.json files under {directory}, "
+            f"found {len(candidates)}")
+    return candidates[-2], candidates[-1]
+
+
+def compare(baseline: dict, current: dict, threshold: float):
+    """Yield (metric, old, new, pct_change, regressed) rows."""
+    old_results, new_results = baseline["results"], current["results"]
+    for metric in sorted(set(old_results) & set(new_results)):
+        old, new = old_results[metric], new_results[metric]
+        if not isinstance(old, (int, float)) or isinstance(old, bool):
+            continue
+        pct = ((new - old) / old * 100.0) if old else 0.0
+        higher_better = DIRECTIONS.get(metric)
+        if higher_better is None:
+            regressed = False
+        elif higher_better:
+            regressed = pct < -threshold
+        else:
+            regressed = pct > threshold
+        yield metric, float(old), float(new), pct, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, nargs="?")
+    parser.add_argument("current", type=Path, nargs="?")
+    parser.add_argument("--dir", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "benchmarks",
+                        help="where to look for BENCH_*.json when paths "
+                             "are not given")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="percent change that counts as a regression")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any tracked metric regressed")
+    args = parser.parse_args(argv)
+
+    if args.baseline and args.current:
+        base_path, cur_path = args.baseline, args.current
+    elif args.baseline or args.current:
+        parser.error("give both files or neither")
+        return 2
+    else:
+        try:
+            base_path, cur_path = find_default_pair(args.dir)
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        baseline, current = load(base_path), load(cur_path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if baseline.get("quick") != current.get("quick"):
+        print("warning: comparing a --quick run against a full run; "
+              "deltas are not meaningful", file=sys.stderr)
+
+    print(f"baseline: {baseline['rev']}  ({base_path.name})")
+    print(f"current:  {current['rev']}  ({cur_path.name})")
+    print(f"{'metric':<26s} {'baseline':>14s} {'current':>14s} "
+          f"{'change':>9s}")
+    regressions = []
+    for metric, old, new, pct, regressed in compare(
+            baseline, current, args.threshold):
+        flag = "  << REGRESSION" if regressed else ""
+        print(f"{metric:<26s} {old:>14,.2f} {new:>14,.2f} "
+              f"{pct:>+8.1f}%{flag}")
+        if regressed:
+            regressions.append(metric)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"{args.threshold:g}%: {', '.join(regressions)}")
+        return 1 if args.strict else 0
+    print("\nno regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Three subcommands mirror the study's workflow::
+The subcommands mirror the study's workflow::
 
-    repro-study run      --network both --days 1 --seed 2 --out data/
-    repro-study analyze  data/limewire.jsonl --table all
+    repro-study run       --network both --days 1 --seed 2 --out data/
+    repro-study replicate --network limewire --seeds 8 --workers 4
+    repro-study analyze   data/limewire.jsonl --table all
     repro-study filter-eval data/limewire.jsonl
 
 ``run`` simulates the campaigns and writes raw measurement stores as
-JSON-lines; ``analyze`` recomputes any table/figure from a saved store
+JSON-lines; ``replicate`` runs the same campaign under several seeds
+(fanned out over worker processes) and prints the headline-metric
+ranges; ``analyze`` recomputes any table/figure from a saved store
 (no re-simulation); ``filter-eval`` compares the existing-Limewire
 baseline against the size-based filter on a saved store.
 """
@@ -59,6 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--days", type=float, default=1.0,
                          help="campaign length for T1 (informational)")
 
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="run a multi-seed replication campaign and print the "
+             "mean/min/max of every headline metric")
+    replicate.add_argument("--network", choices=("limewire", "openft"),
+                           default="limewire")
+    replicate.add_argument("--seeds", type=int, default=4,
+                           help="number of replication seeds")
+    replicate.add_argument("--base-seed", type=int, default=1,
+                           help="first seed; replications use "
+                                "base-seed..base-seed+seeds-1")
+    replicate.add_argument("--days", type=float, default=1.0,
+                           help="virtual days per replication")
+    replicate.add_argument("--workers", type=int, default=None,
+                           help="campaign processes to run in parallel "
+                                "(default: one per CPU; 1 = serial)")
+
     filter_eval = subparsers.add_parser(
         "filter-eval",
         help="compare existing vs size-based filtering on a saved store")
@@ -90,6 +110,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         path = args.out / f"{name}.jsonl"
         count = result.store.save(path)
         print(f"  {count} responses -> {path}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from .core.experiments import run_replications
+    from .core.parallel import resolve_workers
+
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
+    workers = resolve_workers(args.workers, len(seeds))
+    config = CampaignConfig(duration_days=args.days)
+    print(f"replicating {args.network} over seeds {list(seeds)} "
+          f"({args.days:g} virtual days each, {workers} worker"
+          f"{'s' if workers != 1 else ''})...")
+    report = run_replications(args.network, seeds, config,
+                              workers=workers)
+    print(report.render())
     return 0
 
 
@@ -187,6 +226,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "analyze": _cmd_analyze,
+                "replicate": _cmd_replicate,
                 "filter-eval": _cmd_filter_eval, "export": _cmd_export}
     return handlers[args.command](args)
 

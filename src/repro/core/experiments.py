@@ -9,17 +9,19 @@ aggregates mean / min / max -- the numbers EXPERIMENTS.md quotes as
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .analysis.concentration import top_n_share
 from .analysis.prevalence import compute_prevalence
 from .analysis.sources import address_breakdown
 from .measure.campaign import (CampaignConfig, CampaignResult,
                                run_limewire_campaign, run_openft_campaign)
+from .parallel import parallel_map
 
 __all__ = ["MetricSummary", "ReplicationReport", "HEADLINE_METRICS",
-           "run_replications"]
+           "replicate_one", "run_replications"]
 
 MetricFn = Callable[[CampaignResult], float]
 
@@ -85,20 +87,43 @@ class ReplicationReport:
         return "\n".join(lines)
 
 
-def run_replications(network: str, seeds: Sequence[int],
-                     config: CampaignConfig,
-                     profile=None) -> ReplicationReport:
-    """Run one campaign per seed and summarize the headline metrics."""
+def replicate_one(network: str, config: CampaignConfig, profile,
+                  seed: int) -> Dict[str, float]:
+    """Run one seed's campaign and return its headline metric values.
+
+    Top-level (and therefore picklable) on purpose: this is the unit of
+    work the parallel runner ships to worker processes.  Only the small
+    metric dict crosses the process boundary -- campaign results hold a
+    live simulator full of closures and never need to be pickled.
+    """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
     runner = (run_limewire_campaign if network == "limewire"
               else run_openft_campaign)
+    result = runner(replace(config, seed=seed), profile=profile)
+    return {name: metric(result)
+            for name, metric in HEADLINE_METRICS[network].items()}
+
+
+def run_replications(network: str, seeds: Sequence[int],
+                     config: CampaignConfig, profile=None,
+                     workers: Optional[int] = 1) -> ReplicationReport:
+    """Run one campaign per seed and summarize the headline metrics.
+
+    ``workers`` fans seeds out over a process pool (``None`` = one per
+    CPU); each seed's campaign is fully determined by its seed, so the
+    report is bit-identical to ``workers=1`` -- the merge happens in
+    seed order, not completion order.
+    """
+    if network not in HEADLINE_METRICS:
+        raise ValueError(f"unknown network {network!r}")
     metric_fns = HEADLINE_METRICS[network]
+    worker = functools.partial(replicate_one, network, config, profile)
+    per_seed = parallel_map(worker, list(seeds), workers=workers)
     per_metric: Dict[str, List[float]] = {name: [] for name in metric_fns}
-    for seed in seeds:
-        result = runner(replace(config, seed=seed), profile=profile)
-        for name, metric in metric_fns.items():
-            per_metric[name].append(metric(result))
+    for metrics in per_seed:
+        for name in metric_fns:
+            per_metric[name].append(metrics[name])
     return ReplicationReport(
         network=network, seeds=tuple(seeds),
         metrics={name: MetricSummary(name=name, values=tuple(values))

@@ -64,6 +64,9 @@ class CampaignResult:
     store: MeasurementStore
     world: BuiltWorld
     config: CampaignConfig
+    #: the scan engine used by the downloader (exposes scans_performed,
+    #: cache_hits/cache_misses for throughput benchmarks)
+    engine: Optional[ScanEngine] = None
 
     @property
     def sim(self) -> Simulator:
@@ -107,7 +110,8 @@ def run_limewire_campaign(config: Optional[CampaignConfig] = None,
         popular_works=config.popular_works)
 
     _run(config, world, collector, workload)
-    return CampaignResult(store=store, world=world, config=config)
+    return CampaignResult(store=store, world=world, config=config,
+                          engine=engine)
 
 
 def run_openft_campaign(config: Optional[CampaignConfig] = None,
@@ -138,7 +142,8 @@ def run_openft_campaign(config: Optional[CampaignConfig] = None,
         popular_works=config.popular_works)
 
     _run(config, world, collector, workload)
-    return CampaignResult(store=store, world=world, config=config)
+    return CampaignResult(store=store, world=world, config=config,
+                          engine=engine)
 
 
 def _crawler_address(world: BuiltWorld):

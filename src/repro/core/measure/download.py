@@ -4,14 +4,15 @@ The paper downloaded responded files and ran AV over them; here every
 response gets a download attempt a short (configurable) delay after it
 arrives -- long enough that the responder may have churned offline, which
 is exactly what separates "responses" from "downloadable responses".
-Content is scanned once per distinct identity (verdicts cached), matching
+Content is scanned once per distinct identity -- the scan engine's
+content-addressed verdict cache dedupes byte-identical blobs -- matching
 the one-scan-per-unique-file post-processing of the study.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional
 
 from ...files.payload import Blob
 from ...scanner.engine import ScanEngine
@@ -51,7 +52,6 @@ class Downloader:
         self.policy = policy or DownloadPolicy()
         self.stream = stream if stream is not None else sim.stream(
             "downloader")
-        self._verdict_cache: Dict[str, Optional[str]] = {}
         self.attempts = 0
         self.successes = 0
 
@@ -78,10 +78,5 @@ class Downloader:
             return
         self.successes += 1
         record.downloaded = True
-        record.malware_name = self._scan(record.content_id, blob)
-
-    def _scan(self, content_id: str, blob: Blob) -> Optional[str]:
-        if content_id not in self._verdict_cache:
-            verdict = self.engine.scan(blob)
-            self._verdict_cache[content_id] = verdict.primary_name
-        return self._verdict_cache[content_id]
+        # byte-identical content is deduped by the engine's verdict cache
+        record.malware_name = self.engine.scan(blob).primary_name

@@ -66,6 +66,8 @@ class Blob:
     markers: Tuple[bytes, ...] = ()
     members: Tuple["Blob", ...] = ()
     _urn: Optional[str] = field(default=None, compare=False, repr=False)
+    _scan_body: Optional[bytes] = field(default=None, compare=False,
+                                        repr=False)
 
     def header(self, length: int = 64) -> bytes:
         """The first ``length`` bytes: format magic + deterministic filler."""
@@ -91,9 +93,28 @@ class Blob:
         return b"".join(parts)
 
     def sha1_urn(self) -> str:
-        """``urn:sha1:<base32>`` identity, Gnutella HUGE style."""
-        digest = hashlib.sha1(self.canonical_bytes()).digest()
-        return "urn:sha1:" + base64.b32encode(digest).decode("ascii")
+        """``urn:sha1:<base32>`` identity, Gnutella HUGE style.
+
+        Cached after the first call: identities are immutable and the
+        scanner's verdict cache looks this up on every download.
+        """
+        if self._urn is None:
+            digest = hashlib.sha1(self.canonical_bytes()).digest()
+            urn = "urn:sha1:" + base64.b32encode(digest).decode("ascii")
+            object.__setattr__(self, "_urn", urn)
+        return self._urn
+
+    def scan_body(self) -> bytes:
+        """The byte string the scanner pattern-matches against.
+
+        Markers joined with ``|`` plus the header, cached so repeat
+        scans of the same blob (downloads are duplicate-heavy) don't
+        rebuild it.
+        """
+        if self._scan_body is None:
+            body = b"|".join(self.markers) + b"#" + self.header()
+            object.__setattr__(self, "_scan_body", body)
+        return self._scan_body
 
     def md5_hex(self) -> str:
         """Hex MD5 identity (OpenFT's content hash)."""

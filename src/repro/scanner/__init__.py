@@ -6,10 +6,12 @@ downloaded files.
 
 from .database import SignatureDatabase, database_for_strains
 from .engine import Detection, ScanEngine, ScanVerdict
+from .matcher import MultiPatternMatcher
 from .signatures import Signature, SignatureKind
 
 __all__ = [
     "SignatureDatabase", "database_for_strains",
     "Detection", "ScanEngine", "ScanVerdict",
+    "MultiPatternMatcher",
     "Signature", "SignatureKind",
 ]

@@ -23,11 +23,22 @@ class SignatureDatabase:
     def __init__(self, signatures: Iterable[Signature] = ()) -> None:
         self._patterns: List[Signature] = []
         self._hashes: Dict[str, Signature] = {}
+        self._version = 0
         for signature in signatures:
             self.add(signature)
 
     def __len__(self) -> int:
         return len(self._patterns) + len(self._hashes)
+
+    @property
+    def version(self) -> int:
+        """Monotonic update counter.
+
+        Bumped on every :meth:`add`; the scan engine keys its verdict
+        cache and compiled matcher on this, so a database update (new
+        signature push) invalidates stale verdicts automatically.
+        """
+        return self._version
 
     def add(self, signature: Signature) -> None:
         """Register a signature."""
@@ -36,6 +47,7 @@ class SignatureDatabase:
         else:
             assert signature.sha1_urn is not None
             self._hashes[signature.sha1_urn] = signature
+        self._version += 1
 
     def match_hash(self, sha1_urn: str) -> Optional[Signature]:
         """Exact-content lookup."""

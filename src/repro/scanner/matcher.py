@@ -1,0 +1,109 @@
+"""Multi-pattern byte matching for the scan engine.
+
+The naive engine loop ran ``pattern in body`` once per signature -- fine
+for a handful of strains, linear-in-signatures for the ecosystem-scale
+databases the roadmap is heading toward.  :class:`MultiPatternMatcher`
+does one pass instead:
+
+1. a single precompiled regex alternation answers "does *any* pattern
+   occur?" at C speed -- the common clean-blob case exits here;
+2. a tiny Aho--Corasick automaton reports the exact set of patterns
+   present.  Unlike a bare regex alternation (which yields one match per
+   position and so can shadow patterns that overlap or nest inside other
+   patterns), Aho--Corasick's output links report every pattern, which
+   keeps the matcher bit-identical to the naive per-signature loop.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+__all__ = ["MultiPatternMatcher"]
+
+
+class MultiPatternMatcher:
+    """Find which of a fixed set of byte patterns occur in a body.
+
+    ``match(body)`` returns the set of pattern *indices* (into the
+    sequence given at construction) that occur anywhere in ``body`` --
+    exactly the indices for which ``patterns[i] in body`` is true.
+    """
+
+    def __init__(self, patterns: Sequence[bytes]) -> None:
+        self.patterns: Tuple[bytes, ...] = tuple(patterns)
+        for index, pattern in enumerate(self.patterns):
+            if not pattern:
+                raise ValueError(f"pattern {index} is empty")
+        # Duplicate byte strings share one automaton entry; map each
+        # unique pattern to every index that asked for it.
+        self._indices_for: Dict[bytes, Tuple[int, ...]] = {}
+        for index, pattern in enumerate(self.patterns):
+            self._indices_for.setdefault(pattern, ())
+            self._indices_for[pattern] += (index,)
+        unique = list(self._indices_for)
+        self._prefilter = re.compile(
+            b"|".join(re.escape(pattern)
+                      for pattern in sorted(unique, key=len, reverse=True))
+        ) if unique else None
+        self._build_automaton(unique)
+
+    # -- construction -------------------------------------------------------
+    def _build_automaton(self, unique: List[bytes]) -> None:
+        """Classic Aho--Corasick: goto trie, fail links, merged outputs."""
+        # state 0 is the root; each state is a dict byte-value -> state
+        goto: List[Dict[int, int]] = [{}]
+        out: List[Set[bytes]] = [set()]
+        for pattern in unique:
+            state = 0
+            for byte in pattern:
+                nxt = goto[state].get(byte)
+                if nxt is None:
+                    goto.append({})
+                    out.append(set())
+                    nxt = len(goto) - 1
+                    goto[state][byte] = nxt
+                state = nxt
+            out[state].add(pattern)
+
+        fail = [0] * len(goto)
+        queue: List[int] = []
+        for state in goto[0].values():
+            queue.append(state)
+        head = 0
+        while head < len(queue):
+            state = queue[head]
+            head += 1
+            for byte, nxt in goto[state].items():
+                queue.append(nxt)
+                fallback = fail[state]
+                while fallback and byte not in goto[fallback]:
+                    fallback = fail[fallback]
+                fail[nxt] = goto[fallback].get(byte, 0)
+                out[nxt] |= out[fail[nxt]]
+
+        self._goto = goto
+        self._fail = fail
+        self._out: List[FrozenSet[bytes]] = [frozenset(s) for s in out]
+
+    # -- matching -----------------------------------------------------------
+    def match(self, body: bytes) -> FrozenSet[int]:
+        """Indices of all patterns occurring anywhere in ``body``."""
+        if self._prefilter is None or self._prefilter.search(body) is None:
+            return frozenset()
+        goto, fail, out = self._goto, self._fail, self._out
+        found: Set[bytes] = set()
+        state = 0
+        for byte in body:
+            while state and byte not in goto[state]:
+                state = fail[state]
+            state = goto[state].get(byte, 0)
+            if out[state]:
+                found |= out[state]
+        indices: Set[int] = set()
+        for pattern in found:
+            indices.update(self._indices_for[pattern])
+        return frozenset(indices)
+
+    def __len__(self) -> int:
+        return len(self.patterns)

@@ -4,6 +4,13 @@ Events are (time, sequence, callback) triples kept in a binary heap.  The
 sequence number breaks ties deterministically: two events scheduled for the
 same instant fire in scheduling order, which is what keeps campaign runs
 bit-for-bit reproducible across Python versions.
+
+Cancelled events stay in the heap (removal from a heap middle is O(n))
+and are discarded lazily -- the standard lazy-deletion idiom.  Long
+campaigns with heavy churn cancel far more timers than they fire, so the
+queue compacts itself (rebuilds the heap without dead entries) once the
+cancelled fraction passes one half; pops then never wade through piles
+of dead events.
 """
 
 from __future__ import annotations
@@ -15,8 +22,12 @@ from typing import Any, Callable, Optional
 
 __all__ = ["Event", "EventQueue"]
 
+#: Heaps smaller than this are never compacted -- rebuilding a tiny heap
+#: costs more than popping through its dead entries.
+_COMPACT_MIN_SIZE = 64
 
-@dataclass(order=True)
+
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -42,6 +53,8 @@ class EventQueue:
         self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
+        self._dead = 0  # cancelled events still sitting in the heap
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -57,22 +70,55 @@ class EventQueue:
         self._live += 1
         return event
 
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` and keep the live count right (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self.note_cancelled()
+
+    def _discard_cancelled_head(self) -> None:
+        """Drop cancelled events off the top of the heap.
+
+        Shared by :meth:`pop` and :meth:`peek_time` so both agree on
+        which event is the head: peek never reports the time of a
+        cancelled event, and pop never returns one.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            if self._dead > 0:
+                self._dead -= 1
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        return None
+        self._discard_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._discard_cancelled_head()
         return self._heap[0].time if self._heap else None
 
     def note_cancelled(self) -> None:
         """Bookkeeping hook: callers invoke this after cancelling an event."""
         self._live -= 1
+        self._dead += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap when over half of it is dead weight.
+
+        heapify over the surviving events preserves the (time, seq)
+        order, so pop order -- and therefore campaign determinism -- is
+        unaffected.
+        """
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_SIZE and 2 * self._dead > len(heap):
+            self._heap = [event for event in heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._dead = 0
+            self.compactions += 1

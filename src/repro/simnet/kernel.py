@@ -63,10 +63,8 @@ class Simulator:
         return self.queue.push(self.now + delay, callback, label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (safe to call once per event)."""
-        if not event.cancelled:
-            event.cancel()
-            self.queue.note_cancelled()
+        """Cancel a pending event (safe to call any number of times)."""
+        self.queue.cancel(event)
 
     def every(self, interval: float, callback: Callable[[], None],
               label: str = "", jitter: Optional[SeededStream] = None,

@@ -42,6 +42,25 @@ class TestRun:
         assert "limewire" in first_line
 
 
+class TestReplicate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["replicate"])
+        assert args.network == "limewire"
+        assert args.seeds == 4
+        assert args.workers is None
+
+    def test_prints_report(self, capsys):
+        code = main(["replicate", "--network", "limewire", "--seeds", "1",
+                     "--days", "0.1", "--workers", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replicating limewire" in output
+        assert "prevalence" in output
+
+    def test_rejects_zero_seeds(self, capsys):
+        assert main(["replicate", "--seeds", "0"]) == 2
+
+
 class TestAnalyze:
     def test_all_tables(self, saved_store, capsys):
         code = main(["analyze", str(saved_store)])

@@ -1,0 +1,91 @@
+"""Tests for the parallel replication fan-out."""
+
+import pytest
+
+from repro.core.experiments import replicate_one, run_replications
+from repro.core.measure.campaign import CampaignConfig
+from repro.core.parallel import parallel_map, resolve_workers
+from repro.peers.profiles import GnutellaProfile
+
+
+def _square(value):
+    return value * value
+
+
+class TestResolveWorkers:
+    def test_explicit_count_capped_by_tasks(self):
+        assert resolve_workers(8, 3) == 3
+        assert resolve_workers(2, 10) == 2
+
+    def test_none_means_cpu_count(self):
+        assert resolve_workers(None, 1000) >= 1
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0, 5) == 1
+        assert resolve_workers(-3, 5) == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4) == [
+            i * i for i in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [5], workers=4) == [25]
+
+    def test_falls_back_when_pool_unavailable(self, monkeypatch):
+        def broken_executor(*args, **kwargs):
+            raise OSError("no fork for you")
+
+        import concurrent.futures
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            broken_executor)
+        assert parallel_map(_square, [1, 2, 3], workers=4) == [1, 4, 9]
+
+    def test_worker_exceptions_propagate(self):
+        def boom(value):
+            raise RuntimeError("bad seed")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2], workers=1)
+
+
+class TestParallelReplications:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return (CampaignConfig(seed=0, duration_days=0.1),
+                GnutellaProfile().scaled(0.4))
+
+    def test_parallel_matches_serial_bit_identical(self, setup):
+        config, profile = setup
+        seeds = (3, 4)
+        serial = run_replications("limewire", seeds, config,
+                                  profile=profile, workers=1)
+        parallel = run_replications("limewire", seeds, config,
+                                    profile=profile, workers=2)
+        assert serial.seeds == parallel.seeds
+        assert set(serial.metrics) == set(parallel.metrics)
+        for name in serial.metrics:
+            # bit-identical floats, not approx: same seed, same world
+            assert serial.metrics[name].values == \
+                parallel.metrics[name].values
+
+    def test_replicate_one_matches_serial_runner(self, setup):
+        config, profile = setup
+        serial = run_replications("limewire", (3,), config,
+                                  profile=profile, workers=1)
+        single = replicate_one("limewire", config, profile, 3)
+        for name, summary in serial.metrics.items():
+            assert summary.values == (single[name],)
+
+    def test_replicate_one_unknown_network(self, setup):
+        config, profile = setup
+        with pytest.raises(ValueError):
+            replicate_one("kazaa", config, profile, 1)

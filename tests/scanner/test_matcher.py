@@ -1,0 +1,88 @@
+"""Tests for the multi-pattern matcher.
+
+The contract is exact agreement with the naive per-signature loop:
+``i in matcher.match(body)`` iff ``patterns[i] in body``.  The
+randomized corpus deliberately generates nested, overlapping and
+duplicated patterns -- the cases where a plain regex alternation would
+shadow matches.
+"""
+
+import random
+
+import pytest
+
+from repro.scanner.matcher import MultiPatternMatcher
+
+
+def naive_match(patterns, body):
+    return frozenset(i for i, pattern in enumerate(patterns)
+                     if pattern in body)
+
+
+class TestMultiPatternMatcher:
+    def test_simple_hit_and_miss(self):
+        matcher = MultiPatternMatcher([b"WORM", b"TROJAN"])
+        assert matcher.match(b"xxWORMyy") == frozenset({0})
+        assert matcher.match(b"clean body") == frozenset()
+        assert matcher.match(b"TROJAN and WORM") == frozenset({0, 1})
+
+    def test_nested_patterns_both_reported(self):
+        # "AB" occurs inside "ABC": a bare alternation reports only one
+        matcher = MultiPatternMatcher([b"AB", b"ABC"])
+        assert matcher.match(b"xxABCxx") == frozenset({0, 1})
+
+    def test_overlapping_occurrences(self):
+        matcher = MultiPatternMatcher([b"ABA", b"BAB"])
+        assert matcher.match(b"ABAB") == frozenset({0, 1})
+
+    def test_duplicate_patterns_all_indices(self):
+        matcher = MultiPatternMatcher([b"X", b"Y", b"X"])
+        assert matcher.match(b"zzXzz") == frozenset({0, 2})
+
+    def test_pattern_spanning_suffix_links(self):
+        matcher = MultiPatternMatcher([b"he", b"she", b"his", b"hers"])
+        assert matcher.match(b"ushers") == frozenset({0, 1, 3})
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPatternMatcher([b"ok", b""])
+
+    def test_no_patterns(self):
+        matcher = MultiPatternMatcher([])
+        assert matcher.match(b"anything") == frozenset()
+
+    def test_binary_patterns(self):
+        patterns = [b"\x00\xff\x00", b"\xff\x00", b".*+?[](){}"]
+        matcher = MultiPatternMatcher(patterns)
+        body = b"a\x00\xff\x00b and regex .*+?[](){} metachars"
+        assert matcher.match(body) == naive_match(patterns, body)
+
+    def test_randomized_corpus_agrees_with_naive_loop(self):
+        # property-style: many random pattern sets vs random bodies over
+        # a tiny alphabet, to force heavy overlap
+        rng = random.Random(1234)
+        alphabet = b"ab\x00"
+        for trial in range(150):
+            patterns = []
+            for _ in range(rng.randrange(1, 10)):
+                length = rng.randrange(1, 6)
+                patterns.append(bytes(rng.choice(alphabet)
+                                      for _ in range(length)))
+            matcher = MultiPatternMatcher(patterns)
+            for _ in range(10):
+                body_len = rng.randrange(0, 40)
+                body = bytes(rng.choice(alphabet) for _ in range(body_len))
+                assert matcher.match(body) == naive_match(patterns, body), (
+                    f"trial {trial}: patterns={patterns!r} body={body!r}")
+
+    def test_randomized_marker_bodies(self):
+        # realistic shape: marker-like patterns embedded in filler bodies
+        rng = random.Random(99)
+        for trial in range(50):
+            patterns = [f"MARKER:{rng.randrange(8)}".encode("ascii")
+                        for _ in range(rng.randrange(2, 8))]
+            matcher = MultiPatternMatcher(patterns)
+            body = b"|".join(
+                rng.choice(patterns + [b"benign", b"filler"])
+                for _ in range(rng.randrange(0, 6))) + b"#hdr"
+            assert matcher.match(body) == naive_match(patterns, body)

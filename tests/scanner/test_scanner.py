@@ -115,3 +115,87 @@ class TestEngine:
         engine = ScanEngine(database_for_strains(strains, coverage=0.2))
         assert not engine.scan(strain_body_blob(strains[0])).clean
         assert engine.scan(strain_body_blob(strains[-1])).clean
+
+
+class TestVerdictCache:
+    @pytest.fixture()
+    def strains(self):
+        return limewire_strains()
+
+    @pytest.fixture()
+    def engine(self, strains):
+        return ScanEngine(database_for_strains(strains))
+
+    def test_cached_verdict_equals_uncached(self, engine, strains):
+        blob = dropper_archive_blob(
+            next(s for s in strains if s.behaviour.value == "trojan_dropper"))
+        first = engine.scan(blob)
+        second = engine.scan(blob)  # served from cache
+        assert engine.cache_hits == 1 and engine.cache_misses == 1
+        assert second.clean == first.clean
+        assert second.detections == first.detections
+        assert second.members_scanned == first.members_scanned
+        assert second.truncated == first.truncated
+
+    def test_identical_content_hits_cache(self, engine, strains):
+        # two distinct Blob objects with identical content share a urn
+        first = strain_body_blob(strains[0])
+        twin = strain_body_blob(strains[0])
+        assert first is not twin
+        engine.scan(first)
+        verdict = engine.scan(twin)
+        assert engine.cache_hits == 1
+        assert verdict.primary_name == strains[0].av_name
+
+    def test_cached_verdict_is_isolated(self, engine, strains):
+        blob = strain_body_blob(strains[0])
+        engine.scan(blob).detections.clear()  # caller mutates its copy
+        assert engine.scan(blob).primary_name == strains[0].av_name
+
+    def test_database_update_invalidates_cache(self, strains):
+        missing = strain_body_blob(strains[-1])
+        database = database_for_strains(strains, coverage=0.2)
+        engine = ScanEngine(database)
+        assert engine.scan(missing).clean  # cached as clean
+        database.add(Signature.for_pattern(strains[-1].av_name,
+                                           strains[-1].marker))
+        verdict = engine.scan(missing)  # cache dropped, new sig fires
+        assert not verdict.clean
+        assert verdict.primary_name == strains[-1].av_name
+
+    def test_hash_signature_update_invalidates_cache(self, strains):
+        blob = strain_body_blob(strains[0])
+        database = SignatureDatabase()
+        engine = ScanEngine(database)
+        assert engine.scan(blob).clean
+        database.add(Signature.for_hash("ByHash", blob.sha1_urn()))
+        assert engine.scan(blob).primary_name == "ByHash"
+
+    def test_lru_bound_respected(self, strains):
+        engine = ScanEngine(database_for_strains(strains), cache_size=2)
+        blobs = [Blob(content_key=f"c{i}", extension="exe", size=10 + i)
+                 for i in range(4)]
+        for blob in blobs:
+            engine.scan(blob)
+        assert len(engine._verdict_cache) == 2
+        engine.scan(blobs[3])  # newest two stay cached
+        assert engine.cache_hits == 1
+
+    def test_cache_disabled_with_zero_size(self, strains):
+        engine = ScanEngine(database_for_strains(strains), cache_size=0)
+        blob = strain_body_blob(strains[0])
+        assert engine.scan(blob).primary_name == engine.scan(
+            blob).primary_name
+        assert engine.cache_hits == 0
+
+    def test_hit_rate_property(self, engine, strains):
+        blob = strain_body_blob(strains[0])
+        assert engine.cache_hit_rate == 0.0
+        engine.scan(blob)
+        engine.scan(blob)
+        engine.scan(blob)
+        assert engine.cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_negative_cache_size_rejected(self, strains):
+        with pytest.raises(ValueError):
+            ScanEngine(database_for_strains(strains), cache_size=-1)

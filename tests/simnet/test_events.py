@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simnet.events import EventQueue
+from repro.simnet.events import Event, EventQueue
 
 
 class TestEventQueue:
@@ -67,3 +67,72 @@ class TestEventQueue:
         queue = EventQueue()
         event = queue.push(1.0, lambda: None, label="tick")
         assert event.label == "tick"
+
+    def test_cancel_method_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)  # double cancel must not corrupt the count
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+
+    def test_peek_and_pop_agree_on_cancelled_head(self):
+        # peek must never report the time of a cancelled event that pop
+        # would then silently discard
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        peeked = queue.peek_time()
+        popped = queue.pop()
+        assert peeked == 2.0
+        assert popped is not None and popped.time == peeked
+
+    def test_pop_keeps_len_consistent_with_cancellations(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[::2]:
+            queue.cancel(event)
+        survivors = []
+        while (event := queue.pop()) is not None:
+            survivors.append(event.time)
+        assert survivors == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert len(queue) == 0
+
+    def test_event_uses_slots(self):
+        event = Event(time=1.0, seq=0, callback=lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary = 1
+
+
+class TestCompaction:
+    def test_heavy_cancellation_triggers_compaction(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(256)]
+        for event in events[: 200]:
+            queue.cancel(event)
+        assert queue.compactions >= 1
+        assert len(queue) == 56
+        assert len(queue._heap) < 100  # dead weight actually removed
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        events = [queue.push(float(i % 7), lambda: None)
+                  for i in range(300)]
+        for event in events[::3] + events[1::3]:
+            queue.cancel(event)
+        expected = sorted((e.time, e.seq) for e in events[2::3])
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append((event.time, event.seq))
+        assert popped == expected
+
+    def test_small_heaps_never_compact(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(20)]
+        for event in events:
+            queue.cancel(event)
+        assert queue.compactions == 0
+        assert queue.pop() is None
