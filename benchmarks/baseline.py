@@ -7,7 +7,12 @@ Times the four hot paths the campaign fast-path work targets --
   that cancels half its timers (exercises heap compaction);
 * **scans/sec**: the scan engine over a duplicate-heavy blob workload
   (the paper's: a handful of malware instances dominate responses), with
-  the verdict-cache hit rate;
+  the verdict-cache hit rate -- both sourced from the engine's telemetry
+  registry, the same instruments a campaign exports;
+* **telemetry overhead**: the kernel bench re-run with a
+  ``KernelTelemetry`` attached (per-label counting + sampled callback
+  timing), reported as percent slowdown vs the plain loop -- the cost of
+  leaving telemetry enabled, gated in CI via ``--assert-overhead``;
 * **replication wall-clock**: a multi-seed `run_replications` campaign,
   serial vs process-pool parallel;
 
@@ -18,6 +23,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/baseline.py [--quick] [--out DIR]
                                                  [--workers W] [--rev R]
+                                                 [--assert-overhead PCT]
 """
 
 from __future__ import annotations
@@ -70,8 +76,51 @@ def bench_events(total: int) -> dict:
     }
 
 
+def bench_telemetry(total: int) -> dict:
+    """Event-loop overhead: the kernel bench with telemetry attached."""
+    from repro.simnet.kernel import Simulator
+    from repro.telemetry import KernelTelemetry, MetricRegistry
+
+    def one_run(telemetry) -> float:
+        sim = Simulator(seed=7, telemetry=telemetry)
+        counter = [0]
+
+        def fire() -> None:
+            counter[0] += 1
+
+        for index in range(total):
+            sim.at(float(index % 1000) + 1.0, fire, label="bench")
+        start = time.perf_counter()
+        sim.run_all()
+        return time.perf_counter() - start
+
+    # overhead is a ratio of two small numbers: interleave the legs so
+    # machine-load drift hits both equally, then take best-of-5 each
+    registry = MetricRegistry()
+    plain_times, telemetry_times = [], []
+    for _ in range(5):
+        plain_times.append(one_run(None))
+        telemetry_times.append(one_run(KernelTelemetry(registry)))
+    plain_s = min(plain_times)
+    telemetry_s = min(telemetry_times)
+    overhead_pct = ((telemetry_s - plain_s) / plain_s * 100.0
+                    if plain_s else 0.0)
+    sampled = registry.get("sim_callback_wall_seconds")
+    return {
+        "events_per_sec_telemetry": (total / telemetry_s
+                                     if telemetry_s else 0.0),
+        "telemetry_overhead_pct": overhead_pct,
+        "telemetry_sampled_callbacks": sampled.count if sampled else 0,
+    }
+
+
 def bench_scans(scans: int) -> dict:
-    """Scan throughput over a duplicate-heavy corpus (cache + matcher)."""
+    """Scan throughput over a duplicate-heavy corpus (cache + matcher).
+
+    The reported scans/cache-hit numbers come from the engine's
+    telemetry registry -- the same instruments a campaign run exports --
+    so the bench and the metrics endpoint cannot drift apart.
+    """
     import random
 
     from repro.files.payload import Blob
@@ -79,9 +128,11 @@ def bench_scans(scans: int) -> dict:
     from repro.malware.infection import strain_body_blob
     from repro.scanner.database import database_for_strains
     from repro.scanner.engine import ScanEngine
+    from repro.telemetry import MetricRegistry
 
     strains = limewire_strains()
-    engine = ScanEngine(database_for_strains(strains))
+    registry = MetricRegistry()
+    engine = ScanEngine(database_for_strains(strains), registry=registry)
     infected = [strain_body_blob(strain) for strain in strains]
     clean = [Blob(content_key=f"clean-{i}", extension="mp3",
                   size=3_000_000 + i) for i in range(200)]
@@ -99,11 +150,16 @@ def bench_scans(scans: int) -> dict:
     start = time.perf_counter()
     detected = sum(1 for blob in corpus if not engine.scan(blob).clean)
     elapsed = time.perf_counter() - start
+    cache_requests = registry.get("scanner_cache_requests_total")
+    hits = cache_requests.labels("hit").value
     return {
-        "scans_per_sec": scans / elapsed if elapsed else 0.0,
-        "scans": scans,
+        "scans_per_sec": (cache_requests.value / elapsed
+                          if elapsed else 0.0),
+        "scans": int(cache_requests.value),
         "scan_detected": detected,
-        "cache_hit_rate": engine.cache_hit_rate,
+        "scans_full": int(registry.get("scanner_scans_total").value),
+        "cache_hit_rate": (hits / cache_requests.value
+                           if cache_requests.value else 0.0),
     }
 
 
@@ -147,10 +203,17 @@ def run(quick: bool, workers: int) -> dict:
     results.update(bench_events(20_000 if quick else 200_000))
     print(f"  {results['events_per_sec']:,.0f} events/sec "
           f"({results['queue_compactions']} compactions)")
+    print("benchmarking telemetry overhead...", flush=True)
+    results.update(bench_telemetry(20_000 if quick else 200_000))
+    print(f"  {results['events_per_sec_telemetry']:,.0f} events/sec "
+          f"with telemetry "
+          f"(overhead {results['telemetry_overhead_pct']:+.1f}%, "
+          f"{results['telemetry_sampled_callbacks']} sampled callbacks)")
     print("benchmarking scan engine...", flush=True)
     results.update(bench_scans(5_000 if quick else 50_000))
     print(f"  {results['scans_per_sec']:,.0f} scans/sec "
-          f"(cache hit rate {results['cache_hit_rate']:.1%})")
+          f"(cache hit rate {results['cache_hit_rate']:.1%}, "
+          f"registry-sourced)")
     print("benchmarking replication campaign...", flush=True)
     results.update(bench_replications(
         seeds=2 if quick else 8, days=0.1 if quick else 0.25,
@@ -173,6 +236,10 @@ def main(argv=None) -> int:
                         help="workers for the parallel replication leg")
     parser.add_argument("--rev", default=None,
                         help="revision label (default: git short hash)")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero when telemetry overhead "
+                             "exceeds PCT percent (CI gate)")
     args = parser.parse_args(argv)
 
     rev = args.rev or _detect_rev()
@@ -188,6 +255,15 @@ def main(argv=None) -> int:
     path = args.out / f"BENCH_{rev}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
+    if (args.assert_overhead is not None
+            and results["telemetry_overhead_pct"] > args.assert_overhead):
+        print(f"FAIL: telemetry overhead "
+              f"{results['telemetry_overhead_pct']:.1f}% exceeds the "
+              f"{args.assert_overhead:g}% budget "
+              f"({results['events_per_sec']:,.0f} events/sec plain vs "
+              f"{results['events_per_sec_telemetry']:,.0f} events/sec "
+              f"with telemetry)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -9,10 +9,17 @@ With ``--replicate N`` the study additionally re-runs each network under
 N seeds (fanned out over ``--workers`` processes, one per CPU by
 default) and prints the seed-dependent range of every headline metric.
 
+With ``--telemetry-dir DIR`` every campaign runs fully instrumented:
+``tail -f DIR/<network>_journal.jsonl`` shows live progress, and the
+Prometheus metrics plus span chains are dumped alongside when each
+campaign finishes (replications get per-seed files plus a merged
+textfile).
+
 Usage::
 
     python examples/full_study.py [--days N] [--seed S] [--out DIR]
                                   [--replicate N] [--workers W]
+                                  [--telemetry-dir DIR]
 """
 
 import argparse
@@ -26,6 +33,7 @@ from repro.core.experiments import run_replications
 from repro.core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
                                   evaluate_filters)
 from repro.malware.corpus import limewire_strains
+from repro.telemetry import CampaignTelemetry
 
 
 def main() -> None:
@@ -41,15 +49,33 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="processes for the replication fan-out "
                              "(default: one per CPU)")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        help="instrument the campaigns and dump "
+                             "journal/metrics/spans here")
     args = parser.parse_args()
+
+    def telemetry_for(name):
+        if args.telemetry_dir is None:
+            return None
+        bundle = CampaignTelemetry.for_directory(args.telemetry_dir, name)
+        print(f"  (journal: tail -f {bundle.journal.path})")
+        return bundle
 
     config = CampaignConfig(seed=args.seed, duration_days=args.days)
     print(f"collecting {args.days} virtual days per network "
           f"(seed={args.seed})...")
-    limewire = run_limewire_campaign(config)
+    limewire_telemetry = telemetry_for("limewire")
+    limewire = run_limewire_campaign(config, telemetry=limewire_telemetry)
     print(f"  limewire: {len(limewire.store)} responses")
-    openft = run_openft_campaign(config)
+    openft_telemetry = telemetry_for("openft")
+    openft = run_openft_campaign(config, telemetry=openft_telemetry)
     print(f"  openft:   {len(openft.store)} responses")
+    for name, bundle in (("limewire", limewire_telemetry),
+                         ("openft", openft_telemetry)):
+        if bundle is not None:
+            written = bundle.write_outputs(args.telemetry_dir, name)
+            print(f"  {name} telemetry: "
+                  f"{', '.join(str(p) for p in written.values())}")
 
     args.out.mkdir(parents=True, exist_ok=True)
     limewire.store.save(args.out / "limewire.jsonl")
@@ -87,9 +113,12 @@ def main() -> None:
               f"(parallel workers={args.workers or 'auto'})...")
         for network in ("limewire", "openft"):
             report = run_replications(network, seeds, config,
-                                      workers=args.workers)
+                                      workers=args.workers,
+                                      telemetry_dir=args.telemetry_dir)
             print()
             print(report.render())
+            if report.telemetry_path is not None:
+                print(f"merged telemetry -> {report.telemetry_path}")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,8 @@ from pathlib import Path
 #: Metrics absent here are informational and never flagged.
 DIRECTIONS = {
     "events_per_sec": True,
+    "events_per_sec_telemetry": True,
+    "telemetry_overhead_pct": False,
     "scans_per_sec": True,
     "cache_hit_rate": True,
     "replication_serial_s": False,
@@ -61,6 +63,10 @@ def compare(baseline: dict, current: dict, threshold: float):
         higher_better = DIRECTIONS.get(metric)
         if higher_better is None:
             regressed = False
+        elif metric == "telemetry_overhead_pct":
+            # already a percentage: compare absolute points, not the
+            # relative change of a near-zero number
+            regressed = new - old > threshold
         elif higher_better:
             regressed = pct < -threshold
         else:

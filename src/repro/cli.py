@@ -6,13 +6,17 @@ The subcommands mirror the study's workflow::
     repro-study replicate --network limewire --seeds 8 --workers 4
     repro-study analyze   data/limewire.jsonl --table all
     repro-study filter-eval data/limewire.jsonl
+    repro-study telemetry --network limewire --days 1 --out telemetry/
 
 ``run`` simulates the campaigns and writes raw measurement stores as
 JSON-lines; ``replicate`` runs the same campaign under several seeds
 (fanned out over worker processes) and prints the headline-metric
 ranges; ``analyze`` recomputes any table/figure from a saved store
 (no re-simulation); ``filter-eval`` compares the existing-Limewire
-baseline against the size-based filter on a saved store.
+baseline against the size-based filter on a saved store; ``telemetry``
+runs a fully instrumented campaign and dumps its Prometheus metrics,
+span chains and JSONL run journal (``tail -f`` the journal while it
+runs).
 """
 
 from __future__ import annotations
@@ -78,6 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--workers", type=int, default=None,
                            help="campaign processes to run in parallel "
                                 "(default: one per CPU; 1 = serial)")
+    replicate.add_argument("--telemetry-dir", type=Path, default=None,
+                           help="instrument every replication and write "
+                                "per-seed journals/spans/metrics plus the "
+                                "merged Prometheus textfile here")
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="run an instrumented campaign and dump metrics, spans and "
+             "the run journal")
+    telemetry.add_argument("--network",
+                           choices=("limewire", "openft", "both"),
+                           default="limewire")
+    telemetry.add_argument("--days", type=float, default=1.0,
+                           help="virtual days to measure")
+    telemetry.add_argument("--seed", type=int, default=2)
+    telemetry.add_argument("--out", type=Path,
+                           default=Path("telemetry_output"),
+                           help="directory for <network>_metrics.prom, "
+                                "<network>_spans.jsonl and "
+                                "<network>_journal.jsonl")
+    telemetry.add_argument("--journal-interval", type=float, default=3600.0,
+                           help="virtual seconds between journal snapshots")
+    telemetry.add_argument("--sample-every", type=int, default=64,
+                           help="sample one in N event callbacks for "
+                                "wall-time histograms")
 
     filter_eval = subparsers.add_parser(
         "filter-eval",
@@ -127,8 +156,43 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
           f"({args.days:g} virtual days each, {workers} worker"
           f"{'s' if workers != 1 else ''})...")
     report = run_replications(args.network, seeds, config,
-                              workers=workers)
+                              workers=workers,
+                              telemetry_dir=args.telemetry_dir)
     print(report.render())
+    if report.telemetry_path is not None:
+        print(f"\nmerged telemetry ({len(report.registry)} metrics) "
+              f"-> {report.telemetry_path}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import CampaignTelemetry
+
+    config = CampaignConfig(seed=args.seed, duration_days=args.days)
+    campaigns = []
+    if args.network in ("limewire", "both"):
+        campaigns.append(("limewire", run_limewire_campaign))
+    if args.network in ("openft", "both"):
+        campaigns.append(("openft", run_openft_campaign))
+    for name, runner in campaigns:
+        telemetry = CampaignTelemetry.for_directory(
+            args.out, name, journal_interval_s=args.journal_interval,
+            sample_every=args.sample_every)
+        print(f"running instrumented {name} campaign "
+              f"({args.days:g} virtual days, seed {args.seed})...")
+        print(f"  journal: tail -f {telemetry.journal.path}")
+        result = runner(config, telemetry=telemetry)
+        written = telemetry.write_outputs(args.out, name)
+        registry, tracer = telemetry.registry, telemetry.tracer
+        events = registry.get("sim_events_total")
+        print(f"  {len(result.store)} responses, "
+              f"{int(events.value) if events else 0} kernel events, "
+              f"{result.engine.cache_hit_rate:.1%} scan cache hit rate")
+        print(f"  {len(registry.metric_names())} metrics, "
+              f"{len(tracer)} spans "
+              f"({len(tracer.spans('query'))} query chains)")
+        for kind, path in sorted(written.items()):
+            print(f"  {kind}: {path}")
     return 0
 
 
@@ -227,7 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "analyze": _cmd_analyze,
                 "replicate": _cmd_replicate,
-                "filter-eval": _cmd_filter_eval, "export": _cmd_export}
+                "filter-eval": _cmd_filter_eval, "export": _cmd_export,
+                "telemetry": _cmd_telemetry}
     return handlers[args.command](args)
 
 

@@ -11,14 +11,17 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..telemetry.registry import MetricRegistry
+from ..telemetry.runtime import CampaignTelemetry
 from .analysis.concentration import top_n_share
 from .analysis.prevalence import compute_prevalence
 from .analysis.sources import address_breakdown
 from .measure.campaign import (CampaignConfig, CampaignResult,
                                run_limewire_campaign, run_openft_campaign)
-from .parallel import parallel_map
+from .parallel import merge_worker_registries, parallel_map
 
 __all__ = ["MetricSummary", "ReplicationReport", "HEADLINE_METRICS",
            "replicate_one", "run_replications"]
@@ -76,6 +79,10 @@ class ReplicationReport:
     network: str
     seeds: tuple
     metrics: Dict[str, MetricSummary]
+    #: merged per-worker telemetry (set when telemetry_dir was given)
+    registry: Optional[MetricRegistry] = None
+    #: where the merged Prometheus textfile was written, if anywhere
+    telemetry_path: Optional[Path] = None
 
     def render(self) -> str:
         """Text table of the replication results."""
@@ -88,38 +95,72 @@ class ReplicationReport:
 
 
 def replicate_one(network: str, config: CampaignConfig, profile,
-                  seed: int) -> Dict[str, float]:
+                  seed: int, telemetry_dir: Optional[Path] = None):
     """Run one seed's campaign and return its headline metric values.
 
     Top-level (and therefore picklable) on purpose: this is the unit of
     work the parallel runner ships to worker processes.  Only the small
     metric dict crosses the process boundary -- campaign results hold a
     live simulator full of closures and never need to be pickled.
+
+    With ``telemetry_dir`` the campaign runs fully instrumented: the
+    journal/spans/metrics for this seed land in that directory (named
+    ``<network>_seed<seed>_*``), and the return value becomes a
+    ``(metrics, registry_snapshot)`` pair so the parent process can
+    merge every worker's registry.
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
     runner = (run_limewire_campaign if network == "limewire"
               else run_openft_campaign)
-    result = runner(replace(config, seed=seed), profile=profile)
-    return {name: metric(result)
-            for name, metric in HEADLINE_METRICS[network].items()}
+    telemetry = None
+    if telemetry_dir is not None:
+        telemetry = CampaignTelemetry.for_directory(
+            Path(telemetry_dir), f"{network}_seed{seed}")
+    result = runner(replace(config, seed=seed), profile=profile,
+                    telemetry=telemetry)
+    metrics = {name: metric(result)
+               for name, metric in HEADLINE_METRICS[network].items()}
+    if telemetry is None:
+        return metrics
+    telemetry.write_outputs(Path(telemetry_dir), f"{network}_seed{seed}")
+    return metrics, telemetry.registry.snapshot()
 
 
 def run_replications(network: str, seeds: Sequence[int],
                      config: CampaignConfig, profile=None,
-                     workers: Optional[int] = 1) -> ReplicationReport:
+                     workers: Optional[int] = 1,
+                     telemetry_dir: Optional[Path] = None,
+                     ) -> ReplicationReport:
     """Run one campaign per seed and summarize the headline metrics.
 
     ``workers`` fans seeds out over a process pool (``None`` = one per
     CPU); each seed's campaign is fully determined by its seed, so the
     report is bit-identical to ``workers=1`` -- the merge happens in
     seed order, not completion order.
+
+    ``telemetry_dir`` instruments every replication: per-seed journals,
+    spans and metrics land there, the per-worker registries merge (in
+    seed order, so deterministically) into ``report.registry``, and the
+    merged Prometheus textfile is written as
+    ``<network>_merged_metrics.prom``.
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
     metric_fns = HEADLINE_METRICS[network]
-    worker = functools.partial(replicate_one, network, config, profile)
+    worker = functools.partial(replicate_one, network, config, profile,
+                               telemetry_dir=telemetry_dir)
     per_seed = parallel_map(worker, list(seeds), workers=workers)
+    registry = None
+    telemetry_path = None
+    if telemetry_dir is not None:
+        snapshots = [snapshot for _, snapshot in per_seed]
+        per_seed = [metrics for metrics, _ in per_seed]
+        registry = merge_worker_registries(MetricRegistry(), snapshots)
+        telemetry_path = (Path(telemetry_dir)
+                          / f"{network}_merged_metrics.prom")
+        telemetry_path.write_text(registry.render_prometheus(),
+                                  encoding="utf-8")
     per_metric: Dict[str, List[float]] = {name: [] for name in metric_fns}
     for metrics in per_seed:
         for name in metric_fns:
@@ -127,4 +168,5 @@ def run_replications(network: str, seeds: Sequence[int],
     return ReplicationReport(
         network=network, seeds=tuple(seeds),
         metrics={name: MetricSummary(name=name, values=tuple(values))
-                 for name, values in per_metric.items()})
+                 for name, values in per_metric.items()},
+        registry=registry, telemetry_path=telemetry_path)

@@ -20,6 +20,7 @@ from ...scanner.database import database_for_strains
 from ...scanner.engine import ScanEngine
 from ...simnet.clock import days
 from ...simnet.kernel import Simulator
+from ...telemetry.runtime import CampaignTelemetry
 from .collector import LimewireCollector, OpenFTCollector
 from .download import Downloader, DownloadPolicy
 from .queries import QueryWorkload
@@ -67,6 +68,8 @@ class CampaignResult:
     #: the scan engine used by the downloader (exposes scans_performed,
     #: cache_hits/cache_misses for throughput benchmarks)
     engine: Optional[ScanEngine] = None
+    #: the run's telemetry bundle (registry/tracer/journal) when enabled
+    telemetry: Optional[CampaignTelemetry] = None
 
     @property
     def sim(self) -> Simulator:
@@ -74,8 +77,40 @@ class CampaignResult:
         return self.world.sim
 
 
+def _top_malware_probe(store: MeasurementStore, n: int = 3):
+    """Journal probe: the top-n malware names seen so far."""
+    def probe():
+        counts: dict = {}
+        for record in store:
+            if record.malware_name:
+                counts[record.malware_name] = (
+                    counts.get(record.malware_name, 0) + 1)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return [{"name": name, "responses": count}
+                for name, count in ranked[:n]]
+    return probe
+
+
+def _install_journal(telemetry: CampaignTelemetry, sim: Simulator,
+                     store: MeasurementStore, engine: ScanEngine,
+                     downloader: Downloader, until: float) -> None:
+    """Wire the live-progress probes and start the periodic snapshots."""
+    journal = telemetry.journal
+    if journal is None:
+        return
+    in_flight = telemetry.registry.gauge("downloader_in_flight")
+    journal.add_probe("responses_collected", lambda: len(store))
+    journal.add_probe("queries_issued", lambda: store.queries_issued)
+    journal.add_probe("downloads_in_flight", lambda: in_flight.value)
+    journal.add_probe("download_successes", lambda: downloader.successes)
+    journal.add_probe("scan_cache_hit_rate", lambda: engine.cache_hit_rate)
+    journal.add_probe("top_malware", _top_malware_probe(store))
+    journal.install(sim, until=until)
+
+
 def _run(config: CampaignConfig, world: BuiltWorld, collector,
-         workload: QueryWorkload) -> None:
+         workload: QueryWorkload,
+         telemetry: Optional[CampaignTelemetry] = None) -> None:
     sim = world.sim
     horizon = days(config.duration_days)
     sim.every(config.query_interval_s,
@@ -83,17 +118,31 @@ def _run(config: CampaignConfig, world: BuiltWorld, collector,
               label="query", jitter=sim.stream("campaign:jitter"),
               until=horizon)
     sim.run_until(horizon + config.drain_s)
+    if telemetry is not None:
+        # run_until already flushed the kernel counters; settle the rest
+        telemetry.tracer.close_open(sim.now)
+        if telemetry.journal is not None:
+            telemetry.journal.close(sim)
 
 
 def run_limewire_campaign(config: Optional[CampaignConfig] = None,
                           profile: Optional[GnutellaProfile] = None,
+                          telemetry: Optional[CampaignTelemetry] = None,
                           ) -> CampaignResult:
-    """Reproduce the Limewire side of the measurement."""
+    """Reproduce the Limewire side of the measurement.
+
+    ``telemetry`` threads one :class:`CampaignTelemetry` bundle through
+    the kernel, scanner, downloader and collector; results are
+    bit-identical with or without it (the journal only reads state).
+    """
     config = config or CampaignConfig()
     profile = profile or GnutellaProfile()
     strains = limewire_strains()
 
-    sim = Simulator(seed=config.seed)
+    registry = telemetry.registry if telemetry is not None else None
+    tracer = telemetry.tracer if telemetry is not None else None
+    sim = Simulator(seed=config.seed,
+                    telemetry=telemetry.kernel if telemetry else None)
     horizon = days(config.duration_days)
     world = build_gnutella_world(sim, profile, strains, horizon)
 
@@ -101,28 +150,41 @@ def run_limewire_campaign(config: Optional[CampaignConfig] = None,
                                               _crawler_address(world))
     store = MeasurementStore("limewire")
     engine = ScanEngine(database_for_strains(strains,
-                                             config.scanner_coverage))
-    downloader = Downloader(sim, engine, config.download_policy)
+                                             config.scanner_coverage),
+                        registry=registry)
+    downloader = Downloader(sim, engine, config.download_policy,
+                            registry=registry, tracer=tracer)
     collector = LimewireCollector(sim, world.network, crawler, store,
-                                  downloader)
+                                  downloader, registry=registry,
+                                  tracer=tracer)
     workload = QueryWorkload.from_catalog(
         world.catalog, sim.stream("campaign:workload"),
         popular_works=config.popular_works)
 
-    _run(config, world, collector, workload)
+    if telemetry is not None:
+        _install_journal(telemetry, sim, store, engine, downloader,
+                         until=horizon + config.drain_s)
+    _run(config, world, collector, workload, telemetry)
     return CampaignResult(store=store, world=world, config=config,
-                          engine=engine)
+                          engine=engine, telemetry=telemetry)
 
 
 def run_openft_campaign(config: Optional[CampaignConfig] = None,
                         profile: Optional[OpenFTProfile] = None,
+                        telemetry: Optional[CampaignTelemetry] = None,
                         ) -> CampaignResult:
-    """Reproduce the OpenFT side of the measurement."""
+    """Reproduce the OpenFT side of the measurement.
+
+    ``telemetry`` works exactly as in :func:`run_limewire_campaign`.
+    """
     config = config or CampaignConfig()
     profile = profile or OpenFTProfile()
     strains = openft_strains()
 
-    sim = Simulator(seed=config.seed)
+    registry = telemetry.registry if telemetry is not None else None
+    tracer = telemetry.tracer if telemetry is not None else None
+    sim = Simulator(seed=config.seed,
+                    telemetry=telemetry.kernel if telemetry else None)
     horizon = days(config.duration_days)
     world = build_openft_world(sim, profile, strains, horizon)
     # let child adoptions and initial share syncs settle before measuring
@@ -133,17 +195,23 @@ def run_openft_campaign(config: Optional[CampaignConfig] = None,
     sim.run_until(sim.now + 60.0)  # node-list discovery + adoption
     store = MeasurementStore("openft")
     engine = ScanEngine(database_for_strains(strains,
-                                             config.scanner_coverage))
-    downloader = Downloader(sim, engine, config.download_policy)
+                                             config.scanner_coverage),
+                        registry=registry)
+    downloader = Downloader(sim, engine, config.download_policy,
+                            registry=registry, tracer=tracer)
     collector = OpenFTCollector(sim, world.network, crawler, store,
-                                downloader)
+                                downloader, registry=registry,
+                                tracer=tracer)
     workload = QueryWorkload.from_catalog(
         world.catalog, sim.stream("campaign:workload"),
         popular_works=config.popular_works)
 
-    _run(config, world, collector, workload)
+    if telemetry is not None:
+        _install_journal(telemetry, sim, store, engine, downloader,
+                         until=horizon + config.drain_s)
+    _run(config, world, collector, workload, telemetry)
     return CampaignResult(store=store, world=world, config=config,
-                          engine=engine)
+                          engine=engine, telemetry=telemetry)
 
 
 def _crawler_address(world: BuiltWorld):

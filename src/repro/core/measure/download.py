@@ -7,6 +7,12 @@ is exactly what separates "responses" from "downloadable responses".
 Content is scanned once per distinct identity -- the scan engine's
 content-addressed verdict cache dedupes byte-identical blobs -- matching
 the one-scan-per-unique-file post-processing of the study.
+
+With telemetry attached the downloader keeps labelled outcome counters
+and an in-flight gauge in the run's registry, and traces one
+``download`` span per response (child of the collector's ``response``
+span) with a nested ``scan`` span, so a malicious verdict can be walked
+back to the query that provoked it.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from ...files.payload import Blob
 from ...scanner.engine import ScanEngine
 from ...simnet.kernel import Simulator
 from ...simnet.rng import SeededStream
+from ...telemetry.registry import MetricRegistry
+from ...telemetry.spans import Span, SpanTracer
 from .records import ResponseRecord
 
 __all__ = ["DownloadPolicy", "Downloader"]
@@ -46,7 +54,9 @@ class Downloader:
 
     def __init__(self, sim: Simulator, engine: ScanEngine,
                  policy: Optional[DownloadPolicy] = None,
-                 stream: Optional[SeededStream] = None) -> None:
+                 stream: Optional[SeededStream] = None,
+                 registry: Optional[MetricRegistry] = None,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self.sim = sim
         self.engine = engine
         self.policy = policy or DownloadPolicy()
@@ -54,29 +64,85 @@ class Downloader:
             "downloader")
         self.attempts = 0
         self.successes = 0
+        self.tracer = tracer
+        self._in_flight_gauge = None
+        self._attempt_counter = None
+        self._enqueued_counter = None
+        self._malicious_counter = None
+        if registry is not None:
+            self._enqueued_counter = registry.counter(
+                "downloader_enqueued_total",
+                "Responses handed to the downloader.")
+            self._attempt_counter = registry.counter(
+                "downloader_attempts_total",
+                "Download attempts by outcome.",
+                labels=("outcome",))
+            self._in_flight_gauge = registry.gauge(
+                "downloader_in_flight",
+                "Responses enqueued whose download has not yet resolved.")
+            self._malicious_counter = registry.counter(
+                "downloader_malicious_total",
+                "Downloads whose content scanned dirty.")
 
-    def enqueue(self, record: ResponseRecord, fetch: FetchFn) -> None:
+    def enqueue(self, record: ResponseRecord, fetch: FetchFn,
+                parent_span: Optional[Span] = None) -> None:
         """Schedule the first download attempt for ``record``."""
         delay = self.stream.uniform(self.policy.delay_min_s,
                                     self.policy.delay_max_s)
+        if self._enqueued_counter is not None:
+            self._enqueued_counter.inc()
+            self._in_flight_gauge.inc()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start(
+                "download", self.sim.now, parent=parent_span,
+                responder=record.responder_key, filename=record.filename)
         self.sim.after(delay,
                        lambda: self._attempt(record, fetch,
-                                             self.policy.retries),
+                                             self.policy.retries, span),
                        label="download")
 
+    def _resolve(self, span: Optional[Span], outcome: str,
+                 malware: Optional[str] = None) -> None:
+        """Final bookkeeping once a download stops being in flight."""
+        if self._in_flight_gauge is not None:
+            self._in_flight_gauge.dec()
+        if self.tracer is not None:
+            self.tracer.end(span, self.sim.now, outcome=outcome,
+                            malware=malware)
+
     def _attempt(self, record: ResponseRecord, fetch: FetchFn,
-                 retries_left: int) -> None:
+                 retries_left: int, span: Optional[Span] = None) -> None:
         record.download_attempted = True
         self.attempts += 1
         blob = fetch()
         if blob is None:
             if retries_left > 0:
+                if self._attempt_counter is not None:
+                    self._attempt_counter.labels("retry").inc()
                 self.sim.after(self.policy.retry_gap_s,
                                lambda: self._attempt(record, fetch,
-                                                     retries_left - 1),
+                                                     retries_left - 1, span),
                                label="download-retry")
+            else:
+                if self._attempt_counter is not None:
+                    self._attempt_counter.labels("offline").inc()
+                self._resolve(span, "offline")
             return
         self.successes += 1
         record.downloaded = True
+        if self._attempt_counter is not None:
+            self._attempt_counter.labels("success").inc()
+        scan_span = None
+        if self.tracer is not None:
+            scan_span = self.tracer.start("scan", self.sim.now, parent=span)
         # byte-identical content is deduped by the engine's verdict cache
-        record.malware_name = self.engine.scan(blob).primary_name
+        verdict = self.engine.scan(blob)
+        record.malware_name = verdict.primary_name
+        if self.tracer is not None:
+            self.tracer.end(scan_span, self.sim.now,
+                            clean=verdict.clean,
+                            malware=verdict.primary_name)
+        if not verdict.clean and self._malicious_counter is not None:
+            self._malicious_counter.inc()
+        self._resolve(span, "success", malware=verdict.primary_name)

@@ -16,9 +16,9 @@ depends on the pool -- it is a wall-clock optimisation only.
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-__all__ = ["resolve_workers", "parallel_map"]
+__all__ = ["resolve_workers", "parallel_map", "merge_worker_registries"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -59,3 +59,18 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         return [fn(item) for item in items]
     finally:
         pool.shutdown(wait=True)
+
+
+def merge_worker_registries(parent, snapshots: Iterable[dict]):
+    """Fold per-worker ``MetricRegistry`` snapshots into ``parent``.
+
+    Workers cannot share a registry across process boundaries, so each
+    ships back ``registry.snapshot()`` (a plain picklable dict) and the
+    parent merges them here **in input order** -- counters and
+    histograms sum, gauges keep the max -- making the merged registry
+    identical no matter which worker finished first, the same guarantee
+    :func:`parallel_map` gives for results.  Returns ``parent``.
+    """
+    for snapshot in snapshots:
+        parent.merge_snapshot(snapshot)
+    return parent

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..files.payload import Blob
+from ..telemetry.registry import MetricRegistry
 from .database import SignatureDatabase
 from .matcher import MultiPatternMatcher
 
@@ -72,7 +73,8 @@ class ScanEngine:
     """Scans blobs against a :class:`SignatureDatabase`."""
 
     def __init__(self, database: SignatureDatabase, max_depth: int = 4,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 registry: Optional[MetricRegistry] = None) -> None:
         if max_depth < 0:
             raise ValueError(f"max_depth must be >= 0, got {max_depth!r}")
         if cache_size < 0:
@@ -80,14 +82,44 @@ class ScanEngine:
         self.database = database
         self.max_depth = max_depth
         self.cache_size = cache_size
-        #: full scans actually executed (cache hits don't count)
-        self.scans_performed = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
+        # counters live in a telemetry registry so campaign metrics and
+        # the bench harness read one source of truth; a private registry
+        # keeps engines outside a campaign isolated from each other
+        self.registry = registry if registry is not None else MetricRegistry()
+        cache_requests = self.registry.counter(
+            "scanner_cache_requests_total",
+            "scan() calls answered by the verdict cache vs scanned fresh.",
+            labels=("outcome",))
+        self._cache_hit_counter = cache_requests.labels("hit")
+        self._cache_miss_counter = cache_requests.labels("miss")
+        self._scans_counter = self.registry.counter(
+            "scanner_scans_total",
+            "Full scans actually executed (cache hits excluded).")
+        self._detections_counter = self.registry.counter(
+            "scanner_detections_total",
+            "Signature firings across all fresh scans.")
         self._verdict_cache: "OrderedDict[str, ScanVerdict]" = OrderedDict()
         self._compiled_version: Optional[int] = None
         self._matcher: Optional[MultiPatternMatcher] = None
         self._pattern_signatures: List = []
+
+    # -- counter compatibility ----------------------------------------------
+    # PR 1's bench fields read these names; they are views over the
+    # telemetry counters so the two can never drift apart.
+    @property
+    def scans_performed(self) -> int:
+        """Full scans actually executed (cache hits don't count)."""
+        return int(self._scans_counter.value)
+
+    @property
+    def cache_hits(self) -> int:
+        """scan() calls answered from the verdict cache."""
+        return int(self._cache_hit_counter.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """scan() calls that missed the verdict cache."""
+        return int(self._cache_miss_counter.value)
 
     @property
     def scan_requests(self) -> int:
@@ -118,15 +150,17 @@ class ScanEngine:
         key = blob.sha1_urn()
         cached = self._verdict_cache.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._cache_hit_counter.inc()
             self._verdict_cache.move_to_end(key)
             return cached.copy()
-        self.cache_misses += 1
-        self.scans_performed += 1
+        self._cache_miss_counter.inc()
+        self._scans_counter.inc()
 
         verdict = ScanVerdict(clean=True)
         self._scan_node(blob, "/", 0, verdict)
         verdict.clean = not verdict.detections
+        if verdict.detections:
+            self._detections_counter.inc(len(verdict.detections))
 
         if self.cache_size:
             self._verdict_cache[key] = verdict.copy()

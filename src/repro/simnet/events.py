@@ -103,6 +103,11 @@ class EventQueue:
         self._discard_cancelled_head()
         return self._heap[0].time if self._heap else None
 
+    @property
+    def dead_events(self) -> int:
+        """Cancelled events still occupying the heap (telemetry gauge)."""
+        return self._dead
+
     def note_cancelled(self) -> None:
         """Bookkeeping hook: callers invoke this after cancelling an event."""
         self._live -= 1

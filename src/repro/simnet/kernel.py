@@ -24,13 +24,20 @@ __all__ = ["Simulator"]
 class Simulator:
     """Event loop + clock + seeded randomness for one campaign."""
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    def __init__(self, seed: int = 0, start_time: float = 0.0,
+                 telemetry=None) -> None:
         self.clock = VirtualClock(start_time)
         self.queue = EventQueue()
         self.streams = StreamRegistry(seed)
         self.seed = seed
         self.events_processed = 0
         self._halted = False
+        #: optional :class:`repro.telemetry.KernelTelemetry` (duck-typed
+        #: so this bottom layer never imports the telemetry package): the
+        #: loop bumps ``telemetry.label_counts`` per event, wraps every
+        #: ``telemetry.sample_every``-th callback in a wall-time sample,
+        #: and calls ``telemetry.flush(self)`` when run_until returns
+        self.telemetry = telemetry
 
     # -- time -------------------------------------------------------------
     @property
@@ -107,24 +114,61 @@ class Simulator:
         """
         processed = 0
         self._halted = False
-        while not self._halted:
-            if max_events is not None and processed >= max_events:
-                break
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            event = self.queue.pop()
-            assert event is not None  # peek said there was one
-            self.clock.advance_to(event.time)
-            event.callback()
-            processed += 1
-        if not self._halted and (self.queue.peek_time() is None
-                                 or self.queue.peek_time() > end_time):
+        queue, clock = self.queue, self.clock
+        telemetry = self.telemetry
+        if telemetry is None:
+            while not self._halted:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = queue.pop()
+                assert event is not None  # peek said there was one
+                clock.advance_to(event.time)
+                event.callback()
+                processed += 1
+        else:
+            # instrumented twin of the loop above: one dict get/set per
+            # event, plus a perf_counter pair around every Nth callback
+            from time import perf_counter
+
+            counts = telemetry.label_counts
+            counts_get = counts.get
+            sample_every = telemetry.sample_every
+            since_sample = telemetry.since_sample
+            while not self._halted:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = queue.pop()
+                assert event is not None
+                clock.advance_to(event.time)
+                label = event.label
+                counts[label] = counts_get(label, 0) + 1
+                since_sample += 1
+                if since_sample >= sample_every:
+                    since_sample = 0
+                    started = perf_counter()
+                    event.callback()
+                    telemetry.observe_callback(
+                        label, perf_counter() - started)
+                else:
+                    event.callback()
+                processed += 1
+            telemetry.since_sample = since_sample
+        remaining = queue.peek_time()
+        if not self._halted and (remaining is None or remaining > end_time):
             # drain reached the horizon; move the clock to it so callers can
             # rely on now == end_time after the call
             if end_time > self.clock.now:
                 self.clock.advance_to(end_time)
         self.events_processed += processed
+        if telemetry is not None:
+            # after the horizon advance, so gauges reflect the final state
+            telemetry.flush(self)
         return processed
 
     def run_all(self, max_events: int = 10_000_000) -> int:

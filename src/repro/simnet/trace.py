@@ -44,36 +44,58 @@ class TransportTrace:
         self._ring: Deque[TracedMessage] = deque(maxlen=capacity)
         self.captured = 0
         self._installed = False
+        self._capturing = False
         self._original_deliver: Optional[Callable] = None
 
     # -- lifecycle -----------------------------------------------------------
     def install(self) -> None:
-        """Start capturing (wraps the transport's delivery path)."""
+        """Start capturing (wraps the transport's delivery path).
+
+        Multiple traces stack: each tap forwards to the ``_deliver`` it
+        wrapped, so several traces capture the same transport at once.
+        """
         if self._installed:
             return
         self._original_deliver = self.transport._deliver
 
         def tapped(envelope: Envelope) -> None:
-            try:
-                kind = self.classify(envelope.payload)
-            except Exception:  # classification must never break delivery
-                kind = "unparseable"
-            self._ring.append(TracedMessage(
-                time=self.transport.sim.now, src=envelope.src,
-                dst=envelope.dst, size=len(envelope.payload), kind=kind))
-            self.captured += 1
+            if self._capturing:
+                try:
+                    kind = self.classify(envelope.payload)
+                except Exception:  # classification must never break delivery
+                    kind = "unparseable"
+                self._ring.append(TracedMessage(
+                    time=self.transport.sim.now, src=envelope.src,
+                    dst=envelope.dst, size=len(envelope.payload), kind=kind))
+                self.captured += 1
             assert self._original_deliver is not None
             self._original_deliver(envelope)
 
+        tapped._trace_owner = self  # type: ignore[attr-defined]
         self.transport._deliver = tapped  # type: ignore[method-assign]
         self._installed = True
+        self._capturing = True
 
     def uninstall(self) -> None:
-        """Stop capturing and restore the transport."""
-        if self._installed and self._original_deliver is not None:
+        """Stop capturing and restore the transport.
+
+        Safe in any order when several traces are stacked: a trace that
+        is not on top of the tap chain merely stops recording (its tap
+        keeps forwarding), and the chain unwinds past every such
+        deactivated tap as soon as the traces above it uninstall --
+        out-of-order uninstalls can never restore a stale ``_deliver``.
+        """
+        if not self._installed:
+            return
+        self._installed = False
+        self._capturing = False
+        while True:
+            owner = getattr(self.transport._deliver, "_trace_owner", None)
+            if owner is None or owner._installed:
+                break
+            # the top tap is deactivated: pop it off the chain
             self.transport._deliver = (  # type: ignore[method-assign]
-                self._original_deliver)
-            self._installed = False
+                owner._original_deliver)
 
     def __enter__(self) -> "TransportTrace":
         self.install()

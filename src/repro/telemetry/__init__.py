@@ -1,0 +1,34 @@
+"""First-class observability for campaigns, kernels and benchmarks.
+
+The telemetry layer sits beside ``simnet`` at the bottom of the stack
+(stdlib only, no repro imports except within this package) and offers
+four pieces:
+
+* :mod:`~repro.telemetry.registry` -- typed metric instruments
+  (:class:`Counter`, :class:`Gauge`, :class:`Histogram`) in a
+  :class:`MetricRegistry` with Prometheus text export and
+  deterministic cross-process snapshot merging;
+* :mod:`~repro.telemetry.spans` -- explicit-parent span tracing for
+  query->response->download->scan chains across virtual time;
+* :mod:`~repro.telemetry.journal` -- periodic JSONL progress
+  snapshots (``tail -f`` a running campaign);
+* :mod:`~repro.telemetry.kernel` / :mod:`~repro.telemetry.runtime` --
+  the simulator hook and the per-run bundle campaigns thread through
+  their layers.
+"""
+
+from .journal import RunJournal
+from .kernel import KernelTelemetry
+from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                       MetricRegistry, get_registry, set_registry)
+from .runtime import CampaignTelemetry
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricRegistry", "DEFAULT_BUCKETS",
+    "get_registry", "set_registry",
+    "Span", "SpanTracer",
+    "RunJournal",
+    "KernelTelemetry",
+    "CampaignTelemetry",
+]

@@ -1,0 +1,73 @@
+"""The per-run telemetry bundle campaigns thread through their layers.
+
+One :class:`CampaignTelemetry` owns everything observable about one
+campaign run: a private :class:`MetricRegistry` (never shared between
+replications, so per-seed numbers stay per-seed), a :class:`SpanTracer`
+for query->response->download->scan chains, the kernel hook, and an
+optional :class:`RunJournal`.  ``for_directory`` builds the
+conventional on-disk layout::
+
+    <dir>/<name>_journal.jsonl   written live during the run
+    <dir>/<name>_metrics.prom    written by write_outputs()
+    <dir>/<name>_spans.jsonl     written by write_outputs()
+
+The bundle is cheap to construct and safe to ignore: every campaign
+entry point takes ``telemetry=None`` and skips all of this when unset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from .journal import RunJournal
+from .kernel import KernelTelemetry
+from .registry import MetricRegistry
+from .spans import SpanTracer
+
+__all__ = ["CampaignTelemetry"]
+
+
+@dataclass
+class CampaignTelemetry:
+    """Registry + tracer + kernel hook + optional journal for one run."""
+
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
+    tracer: SpanTracer = field(default_factory=SpanTracer)
+    journal: Optional[RunJournal] = None
+    #: sample one in N event callbacks for wall-time histograms
+    sample_every: int = 64
+    kernel: KernelTelemetry = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.kernel = KernelTelemetry(self.registry,
+                                      sample_every=self.sample_every)
+
+    @classmethod
+    def for_directory(cls, directory: Path, name: str,
+                      journal_interval_s: float = 3600.0,
+                      sample_every: int = 64) -> "CampaignTelemetry":
+        """A bundle whose journal lives at ``<directory>/<name>_journal.jsonl``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        registry = MetricRegistry()
+        journal = RunJournal(directory / f"{name}_journal.jsonl",
+                             interval_s=journal_interval_s,
+                             registry=registry)
+        return cls(registry=registry, journal=journal,
+                   sample_every=sample_every)
+
+    def write_outputs(self, directory: Path, name: str) -> Dict[str, Path]:
+        """Dump metrics + spans under ``directory``; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        metrics_path = directory / f"{name}_metrics.prom"
+        metrics_path.write_text(self.registry.render_prometheus(),
+                                encoding="utf-8")
+        spans_path = directory / f"{name}_spans.jsonl"
+        self.tracer.to_jsonl(spans_path)
+        written = {"metrics": metrics_path, "spans": spans_path}
+        if self.journal is not None:
+            written["journal"] = self.journal.path
+        return written

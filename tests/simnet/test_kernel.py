@@ -73,6 +73,36 @@ class TestScheduling:
         sim.run_until(5.0)
         assert order == ["first", "second"]
 
+    def test_event_scheduled_at_horizon_during_drain_still_runs(self, sim):
+        # regression: the last event's callback schedules another event
+        # at exactly end_time; the drain must process it, and the final
+        # "advance to horizon" check must see the queue state from
+        # *after* the loop, not a stale peek
+        order = []
+
+        def last():
+            order.append("last")
+            sim.at(10.0, lambda: order.append("same-time"))
+
+        sim.at(10.0, last)
+        processed = sim.run_until(10.0)
+        assert order == ["last", "same-time"]
+        assert processed == 2
+        assert sim.now == 10.0
+
+    def test_clock_not_advanced_while_events_remain_before_horizon(self, sim):
+        fired = []
+        sim.at(5.0, lambda: fired.append(1))
+        sim.at(6.0, lambda: fired.append(2))
+        sim.run_until(10.0, max_events=1)
+        # max_events stopped the drain with work left before the
+        # horizon: the clock must stay at the last processed event
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run_until(10.0)
+        assert fired == [1, 2]
+        assert sim.now == 10.0
+
 
 class TestEvery:
     def test_periodic_without_jitter(self, sim):

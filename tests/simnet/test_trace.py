@@ -92,3 +92,86 @@ class TestTransportTrace:
         with pytest.raises(ValueError):
             TransportTrace(make_world(sim), classify_by_first_byte,
                            capacity=0)
+
+
+class TestStackedTraces:
+    """Several traces tapping one transport, uninstalled in any order."""
+
+    def test_stacked_traces_both_capture(self, sim):
+        transport = make_world(sim)
+        first = TransportTrace(transport, classify_by_first_byte)
+        second = TransportTrace(transport, classify_by_first_byte)
+        first.install()
+        second.install()
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        assert first.captured == 1
+        assert second.captured == 1
+        second.uninstall()
+        first.uninstall()
+
+    def test_out_of_order_uninstall_keeps_outer_trace_live(self, sim):
+        # the double-tap hazard: uninstalling the *inner* trace first
+        # used to restore the pre-first-trace _deliver, silently
+        # disconnecting the still-installed outer trace
+        transport = make_world(sim)
+        first = TransportTrace(transport, classify_by_first_byte)
+        second = TransportTrace(transport, classify_by_first_byte)
+        first.install()
+        second.install()
+        first.uninstall()  # out of order: first is below second
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        assert first.captured == 0   # uninstalled, stops recording
+        assert second.captured == 1  # still installed, still recording
+        second.uninstall()
+
+    def test_chain_unwinds_after_out_of_order_uninstall(self, sim):
+        transport = make_world(sim)
+        first = TransportTrace(transport, classify_by_first_byte)
+        second = TransportTrace(transport, classify_by_first_byte)
+        first.install()
+        second.install()
+        first.uninstall()
+        second.uninstall()
+        # both gone: the chain unwound all the way to the original
+        assert getattr(transport._deliver, "_trace_owner", None) is None
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        assert first.captured == 0 and second.captured == 0
+
+    def test_three_deep_mixed_order(self, sim):
+        transport = make_world(sim)
+        traces = [TransportTrace(transport, classify_by_first_byte)
+                  for _ in range(3)]
+        for trace in traces:
+            trace.install()
+        traces[1].uninstall()
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        assert [trace.captured for trace in traces] == [1, 0, 1]
+        traces[2].uninstall()
+        traces[0].uninstall()
+        assert getattr(transport._deliver, "_trace_owner", None) is None
+
+    def test_reinstall_after_uninstall(self, sim):
+        transport = make_world(sim)
+        trace = TransportTrace(transport, classify_by_first_byte)
+        trace.install()
+        trace.uninstall()
+        trace.install()
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        assert trace.captured == 1
+        trace.uninstall()
+
+    def test_double_install_is_noop(self, sim):
+        transport = make_world(sim)
+        trace = TransportTrace(transport, classify_by_first_byte)
+        trace.install()
+        trace.install()
+        transport.send("a", "b", b"\x01x")
+        sim.run_until(10.0)
+        assert trace.captured == 1  # not captured twice through two taps
+        trace.uninstall()
+        assert getattr(transport._deliver, "_trace_owner", None) is None

@@ -1,0 +1,129 @@
+"""Tests for the JSONL run journal."""
+
+import json
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.telemetry.journal import RunJournal
+from repro.telemetry.kernel import KernelTelemetry
+from repro.telemetry.registry import MetricRegistry
+
+
+def read_rows(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestCadence:
+    def test_one_line_per_interval(self, tmp_path):
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0)
+        journal.install(sim, until=100.0)
+        sim.at(95.0, lambda: None)
+        sim.run_all()
+        journal.close(sim)
+        rows = read_rows(journal.path)
+        # snapshots at t=10..100 inclusive, plus the final row
+        assert [row["virtual_time"] for row in rows[:-1]] == [
+            pytest.approx(10.0 * n) for n in range(1, 11)]
+        assert rows[-1]["final"] is True
+        assert journal.snapshots_written == len(rows)
+
+    def test_until_bounds_the_schedule(self, tmp_path):
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0)
+        journal.install(sim, until=30.0)
+        sim.at(500.0, lambda: None)
+        sim.run_until(500.0)
+        journal.close(sim)
+        rows = read_rows(journal.path)
+        assert rows[-2]["virtual_time"] == pytest.approx(30.0)
+        assert rows[-1]["virtual_time"] == pytest.approx(500.0)
+
+    def test_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunJournal(tmp_path / "run.jsonl", interval_s=0.0)
+
+
+class TestRowContents:
+    def test_core_fields(self, tmp_path):
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0)
+        journal.install(sim, until=10.0)
+        for offset in range(5):
+            sim.at(1.0 + offset, lambda: None)
+        sim.run_until(10.0)
+        journal.close(sim)
+        rows = read_rows(journal.path)
+        first = rows[0]
+        assert first["virtual_time"] == pytest.approx(10.0)
+        assert first["queue_depth"] == 0
+        # without kernel telemetry, sim.events_processed only
+        # accumulates when run_until returns, so the mid-run row lags
+        assert first["events_processed"] == 0
+        assert first["wall_time_s"] >= 0.0
+        assert first["events_per_sec"] >= 0.0
+        # the final row, written after run_until returned, is accurate:
+        # 5 user events + the journal tick itself
+        assert rows[-1]["events_processed"] == 6
+
+    def test_prefers_live_kernel_telemetry_counts(self, tmp_path):
+        # mid-run, sim.events_processed lags; the telemetry dict does not
+        registry = MetricRegistry()
+        sim = Simulator(seed=1, telemetry=KernelTelemetry(registry))
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0)
+        journal.install(sim, until=10.0)
+        for offset in range(5):
+            sim.at(1.0 + offset, lambda: None)
+        sim.run_until(10.0)
+        first = read_rows(journal.path)[0]
+        # 5 user events plus the journal event itself, all seen live
+        assert first["events_processed"] == 6
+
+    def test_probes_and_probe_errors(self, tmp_path):
+        sim = Simulator(seed=1)
+        journal = RunJournal(
+            tmp_path / "run.jsonl", interval_s=10.0,
+            probes={"responses": lambda: 42,
+                    "broken": lambda: 1 / 0})
+        journal.install(sim, until=10.0)
+        sim.run_all()
+        journal.close(sim)
+        rows = read_rows(journal.path)
+        assert all(row["responses"] == 42 for row in rows)
+        assert all(row["broken"] is None for row in rows)
+        assert journal.probe_errors == len(rows)
+
+    def test_registry_counter_tracks_snapshots(self, tmp_path):
+        registry = MetricRegistry()
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0,
+                             registry=registry)
+        journal.install(sim, until=30.0)
+        sim.run_all()
+        journal.close(sim)
+        assert (registry.get("journal_snapshots_total").value
+                == journal.snapshots_written)
+
+
+class TestTailability:
+    def test_lines_visible_before_close(self, tmp_path):
+        # flush-per-write is what makes `tail -f` show live progress
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0)
+        journal.install(sim, until=50.0)
+        seen = []
+        sim.at(45.0, lambda: seen.append(
+            len(journal.path.read_text().splitlines())))
+        sim.run_all()
+        assert seen == [4]  # t=10..40 already on disk at t=45
+        journal.close(sim)
+
+    def test_close_without_sim_writes_no_final_row(self, tmp_path):
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=10.0)
+        journal.install(sim, until=10.0)
+        sim.run_all()
+        journal.close()
+        rows = read_rows(journal.path)
+        assert len(rows) == 1 and "final" not in rows[0]

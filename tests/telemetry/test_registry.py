@@ -1,0 +1,238 @@
+"""Tests for the metric registry and its instruments."""
+
+import pytest
+
+from repro.telemetry.registry import (Counter, Gauge, Histogram,
+                                      MetricRegistry, get_registry,
+                                      set_registry)
+
+
+@pytest.fixture()
+def registry():
+    return MetricRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self, registry):
+        counter = registry.counter("requests_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_independent_and_cached(self, registry):
+        counter = registry.counter("hits_total", labels=("outcome",))
+        counter.labels("hit").inc(3)
+        counter.labels("miss").inc()
+        assert counter.labels("hit") is counter.labels("hit")
+        assert counter.labels("hit").value == 3
+        assert counter.labels("miss").value == 1
+        assert counter.value == 4  # parent sums children
+
+    def test_unlabelled_inc_on_labelled_counter_rejected(self, registry):
+        counter = registry.counter("hits_total", labels=("outcome",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_wrong_label_arity_rejected(self, registry):
+        counter = registry.counter("hits_total", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            counter.labels("only-one")
+
+    def test_labels_on_unlabelled_rejected(self, registry):
+        counter = registry.counter("plain_total")
+        with pytest.raises(ValueError):
+            counter.labels("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_gauges_can_go_negative(self, registry):
+        gauge = registry.gauge("delta")
+        gauge.dec(3)
+        assert gauge.value == -3
+
+
+class TestHistogram:
+    def test_bucket_edges_are_upper_inclusive(self, registry):
+        # Prometheus `le` semantics: an observation exactly on a
+        # boundary lands in that boundary's bucket
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.0)   # le=1.0
+        histogram.observe(1.5)   # le=2.0
+        histogram.observe(2.0)   # le=2.0
+        histogram.observe(5.1)   # +Inf
+        assert histogram.bucket_counts() == [1, 2, 0, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(9.6)
+
+    def test_buckets_must_ascend(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", buckets=())
+
+    def test_labelled_histogram(self, registry):
+        histogram = registry.histogram("lat", labels=("op",),
+                                       buckets=(1.0,))
+        histogram.labels("read").observe(0.5)
+        histogram.labels("write").observe(2.0)
+        assert histogram.count == 2
+        assert histogram.labels("read").count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        first = registry.counter("a_total")
+        second = registry.counter("a_total")
+        assert first is second
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("a_total")
+        with pytest.raises(ValueError):
+            registry.gauge("a_total")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("a_total", labels=("x",))
+        with pytest.raises(ValueError):
+            registry.counter("a_total", labels=("y",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("bad-label",))
+
+    def test_default_registry_swap(self):
+        original = get_registry()
+        replacement = MetricRegistry()
+        try:
+            previous = set_registry(replacement)
+            assert previous is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+
+
+def _parse_prometheus(text):
+    """Parse the exposition format back into {metric: {labels: value}}."""
+    values = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        values.setdefault(name_part, 0.0)
+        values[name_part] = float(value)
+    return values
+
+
+class TestPrometheusRendering:
+    def test_round_trip(self, registry):
+        counter = registry.counter("hits_total", "Cache hits.",
+                                   labels=("outcome",))
+        counter.labels("hit").inc(7)
+        counter.labels("miss").inc(2)
+        registry.gauge("depth", "Queue depth.").set(42)
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+
+        text = registry.render_prometheus()
+        parsed = _parse_prometheus(text)
+        assert parsed['hits_total{outcome="hit"}'] == 7
+        assert parsed['hits_total{outcome="miss"}'] == 2
+        assert parsed["depth"] == 42
+        # _bucket lines are cumulative
+        assert parsed['lat_bucket{le="0.1"}'] == 1
+        assert parsed['lat_bucket{le="1"}'] == 2
+        assert parsed['lat_bucket{le="+Inf"}'] == 3
+        assert parsed["lat_count"] == 3
+        assert parsed["lat_sum"] == pytest.approx(3.55)
+
+    def test_help_and_type_lines(self, registry):
+        registry.counter("hits_total", "Cache hits.")
+        text = registry.render_prometheus()
+        assert "# HELP hits_total Cache hits." in text
+        assert "# TYPE hits_total counter" in text
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("q_total", labels=("query",))
+        counter.labels('say "hi"\nthere\\').inc()
+        text = registry.render_prometheus()
+        assert r'query="say \"hi\"\nthere\\"' in text
+
+    def test_sorted_and_deterministic(self, registry):
+        registry.counter("z_total").inc()
+        registry.counter("a_total").inc()
+        first = registry.render_prometheus()
+        assert first.index("a_total") < first.index("z_total")
+        assert first == registry.render_prometheus()
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+
+class TestSnapshotMerge:
+    def _filled(self, hit=1, depth=5.0, observations=(0.5,)):
+        registry = MetricRegistry()
+        registry.counter("hits_total", labels=("outcome",)) \
+            .labels("hit").inc(hit)
+        registry.gauge("depth").set(depth)
+        histogram = registry.histogram("lat", buckets=(1.0,))
+        for value in observations:
+            histogram.observe(value)
+        return registry
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        snapshot = self._filled().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_counters_and_histograms_sum(self):
+        parent = MetricRegistry()
+        parent.merge_snapshot(self._filled(hit=2,
+                                           observations=(0.5,)).snapshot())
+        parent.merge_snapshot(self._filled(hit=3,
+                                           observations=(2.0,)).snapshot())
+        assert parent.get("hits_total").value == 5
+        histogram = parent.get("lat")
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(2.5)
+        assert histogram.bucket_counts() == [1, 1]
+
+    def test_gauges_keep_max(self):
+        parent = MetricRegistry()
+        parent.merge_snapshot(self._filled(depth=9.0).snapshot())
+        parent.merge_snapshot(self._filled(depth=4.0).snapshot())
+        assert parent.get("depth").value == 9.0
+
+    def test_merge_into_empty_equals_source(self):
+        source = self._filled(hit=4, observations=(0.1, 3.0))
+        parent = MetricRegistry()
+        parent.merge_snapshot(source.snapshot())
+        assert (parent.render_prometheus()
+                == source.render_prometheus())
+
+    def test_merge_determinism(self):
+        snapshots = [self._filled(hit=n, observations=(0.1 * n,)).snapshot()
+                     for n in (1, 2, 3)]
+        first = MetricRegistry()
+        second = MetricRegistry()
+        for snapshot in snapshots:
+            first.merge_snapshot(snapshot)
+        for snapshot in snapshots:
+            second.merge_snapshot(snapshot)
+        assert (first.render_prometheus()
+                == second.render_prometheus())

@@ -1,0 +1,124 @@
+"""Tests for explicit-parent span tracing."""
+
+import json
+
+import pytest
+
+from repro.telemetry.spans import Span, SpanTracer
+
+
+@pytest.fixture()
+def tracer():
+    return SpanTracer()
+
+
+class TestSpanLifecycle:
+    def test_start_and_end(self, tracer):
+        span = tracer.start("query", 10.0, criteria="mp3")
+        assert not span.finished
+        assert span.virtual_duration == 0.0
+        tracer.end(span, 25.0, hits=3)
+        assert span.finished
+        assert span.virtual_duration == 15.0
+        assert span.attributes == {"criteria": "mp3", "hits": 3}
+
+    def test_end_is_idempotent(self, tracer):
+        span = tracer.start("query", 10.0)
+        tracer.end(span, 25.0)
+        tracer.end(span, 99.0)  # second end ignored
+        assert span.end_virtual == 25.0
+
+    def test_end_accepts_none(self, tracer):
+        tracer.end(None, 5.0)  # dropped spans need no special-casing
+
+    def test_wall_duration_nonnegative(self, tracer):
+        span = tracer.start("query", 0.0)
+        tracer.end(span, 1.0)
+        assert span.wall_duration >= 0.0
+
+
+class TestNesting:
+    def _chain(self, tracer):
+        """A query -> response -> download -> scan chain over virtual hours."""
+        query = tracer.start("query", 0.0)
+        tracer.end(query, 0.0)
+        response = tracer.start("response", 120.0, parent=query)
+        tracer.end(response, 120.0)
+        download = tracer.start("download", 130.0, parent=response)
+        scan = tracer.start("scan", 3600.0, parent=download)
+        tracer.end(scan, 3601.0)
+        tracer.end(download, 3601.0)
+        return query, response, download, scan
+
+    def test_chain_walks_to_root(self, tracer):
+        query, response, download, scan = self._chain(tracer)
+        chain = tracer.chain(scan)
+        assert [span.name for span in chain] == [
+            "query", "response", "download", "scan"]
+        assert chain[0] is query
+
+    def test_chain_by_id(self, tracer):
+        *_, scan = self._chain(tracer)
+        assert tracer.chain(scan.span_id)[-1] is scan
+
+    def test_chain_virtual_duration_spans_virtual_hours(self, tracer):
+        *_, scan = self._chain(tracer)
+        # root query started at t=0, leaf scan ended at t=3601
+        assert tracer.chain_virtual_duration(scan) == 3601.0
+
+    def test_parent_accepts_span_or_id(self, tracer):
+        parent = tracer.start("query", 0.0)
+        by_object = tracer.start("response", 1.0, parent=parent)
+        by_id = tracer.start("response", 1.0, parent=parent.span_id)
+        assert by_object.parent_id == by_id.parent_id == parent.span_id
+
+    def test_chain_survives_parent_cycle(self, tracer):
+        span = tracer.start("query", 0.0)
+        span.parent_id = span.span_id  # corrupt: self-parent
+        assert tracer.chain(span) == [span]
+
+
+class TestCapacity:
+    def test_drops_past_capacity(self):
+        tracer = SpanTracer(capacity=2)
+        first = tracer.start("a", 0.0)
+        second = tracer.start("b", 0.0)
+        third = tracer.start("c", 0.0)
+        assert first is not None and second is not None
+        assert third is None
+        assert tracer.dropped == 1
+        assert len(tracer) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+
+class TestQueriesAndExport:
+    def test_spans_filter_by_name(self, tracer):
+        tracer.start("query", 0.0)
+        tracer.start("scan", 0.0)
+        tracer.start("query", 1.0)
+        assert len(tracer.spans("query")) == 2
+        assert len(tracer.spans()) == 3
+
+    def test_close_open(self, tracer):
+        open_span = tracer.start("download", 0.0)
+        done = tracer.start("scan", 0.0)
+        tracer.end(done, 1.0)
+        closed = tracer.close_open(9.0)
+        assert closed == 1
+        assert open_span.end_virtual == 9.0
+        assert open_span.attributes.get("closed_at_teardown") is True
+
+    def test_to_jsonl_round_trip(self, tracer, tmp_path):
+        span = tracer.start("query", 0.0, criteria="mp3")
+        tracer.end(span, 4.0)
+        path = tmp_path / "spans.jsonl"
+        count = tracer.to_jsonl(path)
+        assert count == 1
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert rows[0]["name"] == "query"
+        assert rows[0]["virtual_duration"] == 4.0
+        assert rows[0]["attributes"] == {"criteria": "mp3"}
