@@ -7,6 +7,8 @@ The subcommands mirror the study's workflow::
     repro-study analyze   data/limewire.jsonl --table all
     repro-study filter-eval data/limewire.jsonl
     repro-study telemetry --network limewire --days 1 --out telemetry/
+    repro-study lint      --strict
+    repro-study selfcheck --seeds 2
 
 ``run`` simulates the campaigns and writes raw measurement stores as
 JSON-lines; ``replicate`` runs the same campaign under several seeds
@@ -17,6 +19,11 @@ baseline against the size-based filter on a saved store; ``telemetry``
 runs a fully instrumented campaign and dumps its Prometheus metrics,
 span chains and JSONL run journal (``tail -f`` the journal while it
 runs).
+
+The last two are the correctness tooling: ``lint`` runs detlint (the
+determinism & layering static-analysis pass) over ``src/`` and
+``selfcheck`` proves at runtime that same-seed campaigns replay to
+identical event-stream digests with the entropy sanitizer armed.
 """
 
 from __future__ import annotations
@@ -86,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="instrument every replication and write "
                                 "per-seed journals/spans/metrics plus the "
                                 "merged Prometheus textfile here")
+    replicate.add_argument("--sanitize", action="store_true",
+                           help="arm the runtime determinism sanitizer in "
+                                "every replication (forbidden entropy "
+                                "sources abort the run)")
 
     telemetry = subparsers.add_parser(
         "telemetry",
@@ -107,6 +118,39 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--sample-every", type=int, default=64,
                            help="sample one in N event callbacks for "
                                 "wall-time histograms")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run detlint: determinism rules (DET001-DET006) and the "
+             "layer-DAG check (LAY001/LAY002) over src/")
+    lint.add_argument("paths", type=Path, nargs="*",
+                      help="files/directories to lint (default: the "
+                           "configured package under src/)")
+    lint.add_argument("--root", type=Path, default=None,
+                      help="repo root holding pyproject.toml "
+                           "(default: nearest ancestor of cwd)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail on unused baseline entries")
+
+    selfcheck = subparsers.add_parser(
+        "selfcheck",
+        help="prove determinism at runtime: same-seed campaigns must "
+             "produce identical event-stream digests under the armed "
+             "entropy sanitizer")
+    selfcheck.add_argument("--network", choices=("limewire", "openft"),
+                           default="limewire")
+    selfcheck.add_argument("--seeds", type=int, default=2,
+                           help="number of seeds to twin-run")
+    selfcheck.add_argument("--base-seed", type=int, default=1)
+    selfcheck.add_argument("--days", type=float, default=0.1,
+                           help="virtual days per campaign (small: the "
+                                "check runs 2 campaigns per seed)")
+    selfcheck.add_argument("--scale", type=float, default=0.35,
+                           help="population scale factor for the check "
+                                "worlds")
+    selfcheck.add_argument("--no-sanitize", action="store_true",
+                           help="compare digests without arming the "
+                                "entropy sanitizer")
 
     filter_eval = subparsers.add_parser(
         "filter-eval",
@@ -157,7 +201,8 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
           f"{'s' if workers != 1 else ''})...")
     report = run_replications(args.network, seeds, config,
                               workers=workers,
-                              telemetry_dir=args.telemetry_dir)
+                              telemetry_dir=args.telemetry_dir,
+                              sanitize=args.sanitize)
     print(report.render())
     if report.telemetry_path is not None:
         print(f"\nmerged telemetry ({len(report.registry)} metrics) "
@@ -194,6 +239,45 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         for kind, path in sorted(written.items()):
             print(f"  {kind}: {path}")
     return 0
+
+
+def _find_repo_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor (of ``start`` or cwd) holding a pyproject.toml."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return current
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.detlint import BaselineError, lint_repo
+
+    root = args.root if args.root is not None else _find_repo_root()
+    try:
+        result = lint_repo(root, paths=args.paths or None)
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render(strict=args.strict))
+    return result.exit_code(strict=args.strict)
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .devtools.selfcheck import run_selfcheck
+
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
+    print(f"selfcheck: {args.network}, seeds {list(seeds)}, "
+          f"{args.days:g} virtual days per run, sanitizer "
+          f"{'off' if args.no_sanitize else 'armed'}...")
+    report = run_selfcheck(network=args.network, seeds=seeds,
+                           days=args.days, scale=args.scale,
+                           sanitize=not args.no_sanitize)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _render(store: MeasurementStore, table: str, days: float) -> str:
@@ -292,7 +376,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": _cmd_run, "analyze": _cmd_analyze,
                 "replicate": _cmd_replicate,
                 "filter-eval": _cmd_filter_eval, "export": _cmd_export,
-                "telemetry": _cmd_telemetry}
+                "telemetry": _cmd_telemetry,
+                "lint": _cmd_lint, "selfcheck": _cmd_selfcheck}
     return handlers[args.command](args)
 
 

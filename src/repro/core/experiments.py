@@ -95,7 +95,8 @@ class ReplicationReport:
 
 
 def replicate_one(network: str, config: CampaignConfig, profile,
-                  seed: int, telemetry_dir: Optional[Path] = None):
+                  seed: int, telemetry_dir: Optional[Path] = None,
+                  sanitize: bool = False):
     """Run one seed's campaign and return its headline metric values.
 
     Top-level (and therefore picklable) on purpose: this is the unit of
@@ -108,6 +109,12 @@ def replicate_one(network: str, config: CampaignConfig, profile,
     ``<network>_seed<seed>_*``), and the return value becomes a
     ``(metrics, registry_snapshot)`` pair so the parent process can
     merge every worker's registry.
+
+    With ``sanitize`` the campaign runs inside the determinism
+    sanitizer: any bare ``random.*`` / wall-clock / ambient-entropy
+    call aborts the replication instead of silently skewing it.  The
+    sanitizer patches process-global entry points, so keep it off in
+    benchmark legs.
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
@@ -117,8 +124,17 @@ def replicate_one(network: str, config: CampaignConfig, profile,
     if telemetry_dir is not None:
         telemetry = CampaignTelemetry.for_directory(
             Path(telemetry_dir), f"{network}_seed{seed}")
-    result = runner(replace(config, seed=seed), profile=profile,
-                    telemetry=telemetry)
+    if sanitize:
+        # deferred on purpose: devtools sits above core in the layer
+        # DAG, and only this opt-in path reaches up into it (declared
+        # in [tool.detlint] deferred_imports)
+        from ..devtools.sanitizer import DeterminismSanitizer
+        with DeterminismSanitizer(mode="raise"):
+            result = runner(replace(config, seed=seed), profile=profile,
+                            telemetry=telemetry)
+    else:
+        result = runner(replace(config, seed=seed), profile=profile,
+                        telemetry=telemetry)
     metrics = {name: metric(result)
                for name, metric in HEADLINE_METRICS[network].items()}
     if telemetry is None:
@@ -131,6 +147,7 @@ def run_replications(network: str, seeds: Sequence[int],
                      config: CampaignConfig, profile=None,
                      workers: Optional[int] = 1,
                      telemetry_dir: Optional[Path] = None,
+                     sanitize: bool = False,
                      ) -> ReplicationReport:
     """Run one campaign per seed and summarize the headline metrics.
 
@@ -144,12 +161,18 @@ def run_replications(network: str, seeds: Sequence[int],
     seed order, so deterministically) into ``report.registry``, and the
     merged Prometheus textfile is written as
     ``<network>_merged_metrics.prom``.
+
+    ``sanitize`` arms the runtime determinism sanitizer inside every
+    replication (see :mod:`repro.devtools.sanitizer`): an opt-in
+    correctness mode that turns any forbidden entropy use into a hard
+    failure.  Off by default -- it patches hot global entry points.
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
     metric_fns = HEADLINE_METRICS[network]
     worker = functools.partial(replicate_one, network, config, profile,
-                               telemetry_dir=telemetry_dir)
+                               telemetry_dir=telemetry_dir,
+                               sanitize=sanitize)
     per_seed = parallel_map(worker, list(seeds), workers=workers)
     registry = None
     telemetry_path = None

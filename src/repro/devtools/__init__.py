@@ -1,0 +1,35 @@
+"""Developer tooling: the determinism & layering enforcement layer.
+
+Everything under ``repro.devtools`` exists to keep the *measurement
+infrastructure* trustworthy rather than to produce measurements:
+
+* :mod:`repro.devtools.detlint` -- an AST-based static-analysis pass
+  (``repro-study lint``) that turns determinism hazards (bare
+  ``random.*``, wall-clock reads, unordered ``set`` iteration feeding
+  the scheduler, ``hash()``-of-str ordering, ambient entropy) and
+  layering violations into CI failures;
+* :mod:`repro.devtools.sanitizer` -- a runtime twin of the linter: a
+  context manager that patches forbidden entropy sources to raise (or
+  record) during a campaign, and an event-stream digest that reduces a
+  whole run to one comparable hash;
+* :mod:`repro.devtools.selfcheck` -- the ``repro-study selfcheck``
+  driver proving same-seed runs replay bit-identically with the
+  sanitizer armed.
+
+This package is *dev tooling*, not simulation code: it deliberately
+names and patches the very entropy sources the linter bans, so it is
+excluded from the lint walk (see ``[tool.detlint] exclude`` in
+``pyproject.toml``).  Nothing below ``core`` may import it at module
+level; ``core`` may defer-import the sanitizer for the opt-in
+``run_replications(sanitize=True)`` path (a declared deferred edge).
+"""
+
+from .detlint import Finding, LintResult, lint_repo
+from .sanitizer import (DeterminismSanitizer, EntropyViolation, EventDigest,
+                        digest_telemetry)
+
+__all__ = [
+    "Finding", "LintResult", "lint_repo",
+    "DeterminismSanitizer", "EntropyViolation", "EventDigest",
+    "digest_telemetry",
+]

@@ -1,0 +1,21 @@
+"""detlint: the determinism & layering linter (``repro-study lint``).
+
+An AST-based static-analysis pass purpose-built for this repo's core
+invariant -- same seed, same bits.  See :mod:`.rules` for the DET
+rule catalogue, :mod:`.layering` for the import-DAG check and
+:mod:`.engine` for configuration/baseline semantics.
+"""
+
+from .engine import (BaselineError, LintConfig, LintResult, collect_modules,
+                     lint_modules, lint_repo, load_baseline, load_config)
+from .findings import Finding, Module, Rule, parse_module
+from .layering import ImportEdge, check_layers, extract_edges
+from .rules import DEFAULT_RULES, all_rules
+
+__all__ = [
+    "BaselineError", "LintConfig", "LintResult", "collect_modules",
+    "lint_modules", "lint_repo", "load_baseline", "load_config",
+    "Finding", "Module", "Rule", "parse_module",
+    "ImportEdge", "check_layers", "extract_edges",
+    "DEFAULT_RULES", "all_rules",
+]

@@ -1,0 +1,246 @@
+"""The detlint engine: configuration, file walk, baseline, verdict.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.detlint]`` so
+the declared layer DAG is versioned next to the package metadata it
+describes.  The engine is itself held to the determinism bar it
+enforces: the file walk is sorted, rule order is fixed, and findings
+are sorted by ``(path, line, col, code)`` -- two runs over the same
+tree always print byte-identical reports.
+
+The baseline file is the *only* sanctioned suppression mechanism and
+it accepts nothing but DET002 (wall-clock) entries: the telemetry
+layer legitimately reads ``perf_counter`` to observe the simulation,
+and the kernel's sampled-callback timing is part of that whitelist.
+Every entry must carry an annotation (a ``#`` comment) explaining why
+the wall-clock read cannot perturb simulation state.  Any other code
+in the baseline is a configuration error, not a suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, Module, parse_module
+from .layering import check_layers
+from .rules import all_rules
+
+try:  # python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - older interpreters
+    tomllib = None
+
+__all__ = ["LintConfig", "LintResult", "load_config", "collect_modules",
+           "lint_modules", "lint_repo", "BaselineError"]
+
+#: the only rule code the baseline may suppress (telemetry wall time)
+BASELINE_ALLOWED_CODES = ("DET002",)
+
+
+class BaselineError(ValueError):
+    """The baseline file tried to suppress something it must not."""
+
+
+@dataclass
+class LintConfig:
+    """Parsed ``[tool.detlint]`` configuration."""
+
+    root: Path  # repo root (directory holding pyproject.toml)
+    package: str = "repro"
+    src: str = "src"
+    exclude: Tuple[str, ...] = ()
+    baseline: Optional[str] = None
+    rng_modules: Tuple[str, ...] = ()
+    layers: Dict[str, Sequence[str]] = field(default_factory=dict)
+    deferred_imports: Set[Tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def src_dir(self) -> Path:
+        return self.root / self.src
+
+    @property
+    def baseline_path(self) -> Optional[Path]:
+        return self.root / self.baseline if self.baseline else None
+
+
+def _parse_deferred(entries: Sequence[str]) -> Set[Tuple[str, str]]:
+    """``["core -> devtools"]`` -> ``{("core", "devtools")}``."""
+    edges = set()
+    for entry in entries:
+        src, sep, dst = entry.partition("->")
+        if not sep:
+            raise ValueError(
+                f"deferred_imports entry {entry!r} is not 'src -> dst'")
+        edges.add((src.strip(), dst.strip()))
+    return edges
+
+
+def load_config(root: Path) -> LintConfig:
+    """Read ``[tool.detlint]`` from ``<root>/pyproject.toml``."""
+    root = Path(root)
+    pyproject = root / "pyproject.toml"
+    table: Dict = {}
+    if pyproject.exists() and tomllib is not None:
+        with pyproject.open("rb") as handle:
+            table = tomllib.load(handle).get("tool", {}).get("detlint", {})
+    return LintConfig(
+        root=root,
+        package=table.get("package", "repro"),
+        src=table.get("src", "src"),
+        exclude=tuple(table.get("exclude", ())),
+        baseline=table.get("baseline"),
+        rng_modules=tuple(table.get("rng_modules", ())),
+        layers=dict(table.get("layers", {})),
+        deferred_imports=_parse_deferred(table.get("deferred_imports", ())),
+    )
+
+
+def _excluded(relpath: str, exclude: Tuple[str, ...]) -> bool:
+    return any(relpath.startswith(prefix.rstrip("/") + "/") or
+               relpath == prefix for prefix in exclude)
+
+
+def collect_modules(config: LintConfig,
+                    paths: Optional[Sequence[Path]] = None) -> List[Module]:
+    """Parse every lintable file, in sorted (deterministic) order.
+
+    Without ``paths``, walks ``<src>/<package>``; with ``paths``, lints
+    exactly those files/directories (still applying the excludes).
+    """
+    package_dir = config.src_dir / config.package
+    roots = [Path(p) for p in paths] if paths else [package_dir]
+    files: List[Path] = []
+    for entry in roots:
+        if entry.is_dir():
+            files.extend(entry.rglob("*.py"))
+        elif entry.suffix == ".py":
+            files.append(entry)
+    modules: List[Module] = []
+    for path in sorted(set(file.resolve() for file in files)):
+        try:
+            rel_src = path.relative_to(config.src_dir.resolve())
+        except ValueError:
+            rel_src = Path(path.name)
+        package_rel = rel_src.as_posix()
+        if _excluded(package_rel, config.exclude):
+            continue
+        try:
+            relpath = path.relative_to(config.root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        dotted = _dotted_name(rel_src)
+        modules.append(parse_module(path, relpath, dotted))
+    return modules
+
+
+def _dotted_name(rel_src: Path) -> str:
+    parts = list(rel_src.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    unused_baseline: List[str]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self, strict: bool = False) -> str:
+        lines = [finding.render() for finding in self.findings]
+        for entry in self.unused_baseline:
+            lines.append(f"warning: unused baseline entry: {entry}")
+        lines.append(
+            f"detlint: {self.files_checked} files, "
+            f"{len(self.findings)} finding"
+            f"{'' if len(self.findings) == 1 else 's'}"
+            f" ({len(self.suppressed)} baselined)")
+        if strict and self.unused_baseline:
+            lines.append("detlint: strict mode: unused baseline entries "
+                         "are errors")
+        return "\n".join(lines)
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.findings:
+            return 1
+        if strict and self.unused_baseline:
+            return 1
+        return 0
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str]]:
+    """Parse ``CODE path  # why`` lines; reject non-wall-clock codes."""
+    entries: List[Tuple[str, str]] = []
+    for raw_line in path.read_text(encoding="utf-8").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise BaselineError(
+                f"baseline line {raw_line!r} is not 'CODE path  # why'")
+        code, entry_path = parts
+        if code not in BASELINE_ALLOWED_CODES:
+            raise BaselineError(
+                f"baseline may only whitelist {BASELINE_ALLOWED_CODES} "
+                f"(telemetry wall time); found {code} for {entry_path}")
+        if "#" not in raw_line:
+            raise BaselineError(
+                f"baseline entry {entry_path} lacks an annotation -- every "
+                "wall-clock whitelist entry must say why it is safe")
+        entries.append((code, entry_path))
+    return entries
+
+
+def lint_modules(modules: Sequence[Module],
+                 config: LintConfig) -> List[Finding]:
+    """Run every rule plus the layering check; findings come back sorted."""
+    findings: List[Finding] = []
+    rules = all_rules(config.rng_modules)
+    for module in modules:
+        for error in module.errors:
+            findings.append(Finding(module.relpath, 1, 0, "DET000",
+                                    error, "fix the syntax error"))
+        for rule in rules:
+            findings.extend(rule.check(module))
+    if config.layers:
+        findings.extend(check_layers(modules, config.layers,
+                                     config.deferred_imports,
+                                     package=config.package))
+    return sorted(findings)
+
+
+def lint_repo(root: Path, paths: Optional[Sequence[Path]] = None,
+              config: Optional[LintConfig] = None) -> LintResult:
+    """Lint the repo rooted at ``root`` (the directory of pyproject.toml)."""
+    config = config or load_config(Path(root))
+    modules = collect_modules(config, paths)
+    findings = lint_modules(modules, config)
+    suppressed: List[Finding] = []
+    unused: List[str] = []
+    baseline_path = config.baseline_path
+    if baseline_path is not None and baseline_path.exists():
+        entries = load_baseline(baseline_path)
+        kept: List[Finding] = []
+        used: Set[Tuple[str, str]] = set()
+        for finding in findings:
+            key = (finding.code, finding.path)
+            if key in entries:
+                suppressed.append(finding)
+                used.add(key)
+            else:
+                kept.append(finding)
+        findings = kept
+        unused = [f"{code} {path}" for code, path in entries
+                  if (code, path) not in used]
+    return LintResult(findings=findings, suppressed=suppressed,
+                      unused_baseline=unused, files_checked=len(modules))

@@ -1,0 +1,84 @@
+"""Finding and rule plumbing shared by every detlint check.
+
+A :class:`Finding` is one diagnostic anchored to ``path:line:col`` with
+a stable ``code`` (``DET001``..., ``LAY001``...) and a fix hint.  A
+rule is anything satisfying the :class:`Rule` protocol: a ``code``, a
+``name`` and a ``check(module)`` generator.  The engine instantiates
+every registered rule once per run and sorts the merged findings, so
+lint output is a deterministic function of the tree being linted --
+the linter holds itself to the invariant it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+try:  # pragma: no cover - python < 3.8 only
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+__all__ = ["Finding", "Module", "Rule", "parse_module"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, what, and how to fix it."""
+
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """``path:line:col: CODE message  [fix: hint]`` (one line)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+    @property
+    def location(self) -> Tuple[str, int]:
+        return (self.path, self.line)
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every rule."""
+
+    path: Path  # absolute
+    relpath: str  # repo-relative posix ("src/repro/simnet/kernel.py")
+    dotted: str  # dotted module name ("repro.simnet.kernel")
+    tree: ast.Module
+    source: str = ""
+    #: syntax errors surface here instead of raising mid-walk
+    errors: List[str] = field(default_factory=list)
+
+
+class Rule(Protocol):
+    """The contract every lint rule implements."""
+
+    code: str
+    name: str
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield findings for one module (order does not matter)."""
+        ...  # pragma: no cover
+
+
+def parse_module(path: Path, relpath: str, dotted: str) -> Module:
+    """Read and parse one file; syntax errors become module.errors."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+        errors: List[str] = []
+    except SyntaxError as error:
+        tree = ast.Module(body=[], type_ignores=[])
+        errors = [f"syntax error: {error.msg} (line {error.lineno})"]
+    return Module(path=path, relpath=relpath, dotted=dotted, tree=tree,
+                  source=source, errors=errors)

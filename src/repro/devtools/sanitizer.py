@@ -1,0 +1,215 @@
+"""Runtime determinism sanitizer: catch at runtime what detlint checks
+statically.
+
+Two complementary tools:
+
+* :class:`DeterminismSanitizer` -- a context manager that patches the
+  forbidden entropy sources (module-level ``random.*`` draws,
+  ``time.time``, ``os.urandom``, ``uuid.uuid1/uuid4``) to either raise
+  :class:`EntropyViolation` (``mode="raise"``) or record the offending
+  call site and pass through (``mode="record"``).  Named streams are
+  untouched: :class:`repro.simnet.rng.SeededStream` owns private
+  ``random.Random`` instances whose bound methods do not go through the
+  patched module functions.  ``time.perf_counter`` is deliberately NOT
+  patched -- the telemetry layer's sampled wall-time observation (the
+  DET002 baseline whitelist) must keep working under the sanitizer.
+
+* :class:`EventDigest` -- a sha256 over ``(time, label, seq)`` of every
+  kernel event executed, fed through the simulator's telemetry slot
+  (the kernel calls ``telemetry.on_event(time, label)`` when the hook
+  exists).  Two same-seed campaigns are bit-identical iff their event
+  streams are; the digest reduces that comparison to one hash, which is
+  what ``repro-study selfcheck`` and the CI determinism gate compare.
+
+The sanitizer patches *hot* global entry points; keep it OFF in
+benchmark legs (see ``scripts/bench_compare.py``): a patched
+``random.random`` adds a wrapper frame to any code under test, and the
+digest adds per-event work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import struct
+import time
+import traceback
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EntropyViolation", "Violation", "DeterminismSanitizer",
+           "EventDigest", "DigestTelemetry", "digest_telemetry"]
+
+
+class EntropyViolation(RuntimeError):
+    """A forbidden entropy source was used while the sanitizer was armed."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded use of a forbidden entropy source."""
+
+    source: str  # e.g. "random.random"
+    filename: str
+    lineno: int
+    function: str
+
+    def render(self) -> str:
+        return (f"{self.source}() called from "
+                f"{self.filename}:{self.lineno} in {self.function}()")
+
+
+#: (module object, attribute) pairs the sanitizer replaces.  Bound
+#: methods of private ``random.Random`` instances (named streams) and
+#: ``time.perf_counter`` (telemetry sampling whitelist) stay live.
+def _patch_targets() -> List[Tuple[object, str]]:
+    targets: List[Tuple[object, str]] = [
+        (time, "time"),
+        (os, "urandom"),
+        (uuid, "uuid1"),
+        (uuid, "uuid4"),
+    ]
+    for name in ("random", "uniform", "randint", "randrange", "choice",
+                 "choices", "sample", "shuffle", "gauss", "normalvariate",
+                 "lognormvariate", "expovariate", "betavariate",
+                 "gammavariate", "paretovariate", "vonmisesvariate",
+                 "weibullvariate", "triangular", "getrandbits", "randbytes",
+                 "seed"):
+        if hasattr(random, name):
+            targets.append((random, name))
+    return targets
+
+
+class DeterminismSanitizer:
+    """Arm the entropy tripwires for the duration of a ``with`` block.
+
+    >>> with DeterminismSanitizer() as sanitizer:
+    ...     random.random()          # raises EntropyViolation
+    >>> with DeterminismSanitizer(mode="record") as sanitizer:
+    ...     random.random()          # works, but is recorded
+    >>> sanitizer.violations         # [Violation(source='random.random', ...)]
+
+    Re-entrant use raises: nesting two sanitizers would record the
+    outer one's wrappers as originals and unpatch to the wrong state.
+    """
+
+    _armed = False  # class-level: one sanitizer per process at a time
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"mode must be 'raise' or 'record', got {mode!r}")
+        self.mode = mode
+        self.violations: List[Violation] = []
+        self._saved: List[Tuple[object, str, Callable]] = []
+
+    # -- bookkeeping ------------------------------------------------------
+    def _note(self, source: str, original: Callable, args, kwargs):
+        frame = traceback.extract_stack(limit=3)[0]
+        violation = Violation(source=source, filename=frame.filename,
+                              lineno=frame.lineno or 0,
+                              function=frame.name)
+        if self.mode == "raise":
+            raise EntropyViolation(
+                f"forbidden entropy source {violation.render()} -- "
+                "simulation code must draw from Simulator.stream(name)")
+        self.violations.append(violation)
+        return original(*args, **kwargs)
+
+    def _wrap(self, module: object, name: str) -> Callable:
+        original = getattr(module, name)
+        source = f"{getattr(module, '__name__', module)}.{name}"
+
+        def tripwire(*args, **kwargs):
+            return self._note(source, original, args, kwargs)
+
+        tripwire.__name__ = f"sanitized_{name}"
+        tripwire.__wrapped__ = original
+        return tripwire
+
+    # -- context protocol -------------------------------------------------
+    def __enter__(self) -> "DeterminismSanitizer":
+        if DeterminismSanitizer._armed:
+            raise RuntimeError("a DeterminismSanitizer is already armed in "
+                               "this process")
+        DeterminismSanitizer._armed = True
+        try:
+            for module, name in _patch_targets():
+                original = getattr(module, name)
+                self._saved.append((module, name, original))
+                setattr(module, name, self._wrap(module, name))
+        except Exception:
+            self._restore()
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        for module, name, original in self._saved:
+            setattr(module, name, original)
+        self._saved.clear()
+        DeterminismSanitizer._armed = False
+
+
+class EventDigest:
+    """Order-sensitive sha256 of the executed event stream.
+
+    Each event contributes ``(virtual time, label, sequence number)``;
+    the sequence number makes re-ordered but otherwise identical event
+    sets distinguishable.  Equal digests => the kernels executed the
+    same events at the same virtual times in the same order, which is
+    the reproduction's definition of "the same run".
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.events = 0
+
+    def on_event(self, time: float, label: str) -> None:
+        """Fold one executed kernel event into the digest."""
+        self._hash.update(struct.pack("<d", time))
+        self._hash.update(label.encode("utf-8"))
+        self._hash.update(struct.pack("<Q", self.events))
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        """Digest so far (the stream can keep growing afterwards)."""
+        return self._hash.hexdigest()
+
+
+class DigestTelemetry:
+    """Minimal kernel-telemetry duck type that only computes the digest.
+
+    Satisfies the contract :class:`repro.simnet.kernel.Simulator`
+    expects of its ``telemetry=`` slot (``label_counts`` /
+    ``sample_every`` / ``since_sample`` / ``observe_callback`` /
+    ``flush``) plus the optional per-event ``on_event`` hook, without
+    dragging in a registry.  Use :func:`digest_telemetry` to build one.
+    """
+
+    def __init__(self, digest: Optional[EventDigest] = None) -> None:
+        self.digest = digest if digest is not None else EventDigest()
+        self.label_counts: Dict[str, int] = {}
+        # effectively never sample: no perf_counter reads, no histograms
+        self.sample_every = 1 << 62
+        self.since_sample = 0
+
+    def on_event(self, time: float, label: str) -> None:
+        self.digest.on_event(time, label)
+
+    def observe_callback(self, label: str, seconds: float) -> None:
+        pass  # pragma: no cover - sampling is disabled above
+
+    def flush(self, sim) -> None:
+        pass
+
+    def hexdigest(self) -> str:
+        return self.digest.hexdigest()
+
+
+def digest_telemetry() -> DigestTelemetry:
+    """A fresh digest-only telemetry object for ``Simulator(telemetry=)``."""
+    return DigestTelemetry()

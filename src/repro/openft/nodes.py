@@ -14,6 +14,7 @@ the non-"downloadable" responses of the paper's denominator.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -302,11 +303,22 @@ class OpenFTNode:
             self._unindex(key, self._records.pop(key))
 
     # -- searching ---------------------------------------------------------
+    def _request_id(self) -> int:
+        """Next search/browse id: a stable endpoint tag + local counter.
+
+        ``zlib.crc32`` rather than builtin ``hash()``: the latter is
+        salted per process (PYTHONHASHSEED), which would give the same
+        node different ids -- and different id-collision patterns --
+        on every run.
+        """
+        self._search_counter += 1
+        endpoint_tag = zlib.crc32(self.endpoint_id.encode("utf-8"))
+        return (endpoint_tag & 0xFFFF) << 16 | (
+            self._search_counter & 0xFFFF)
+
     def originate_search(self, query: str) -> int:
         """Send a search to every parent; returns the search id."""
-        self._search_counter += 1
-        search_id = (hash(self.endpoint_id) & 0xFFFF) << 16 | (
-            self._search_counter & 0xFFFF)
+        search_id = self._request_id()
         self._own_searches.add(search_id)
         request = SearchRequest(search_id=search_id, ttl=SEARCH_TTL,
                                 query=query)
@@ -376,9 +388,7 @@ class OpenFTNode:
     # -- browsing ------------------------------------------------------------
     def originate_browse(self, target_id: str) -> int:
         """Ask ``target_id`` for its share list; returns the browse id."""
-        self._search_counter += 1
-        browse_id = (hash(self.endpoint_id) & 0xFFFF) << 16 | (
-            self._search_counter & 0xFFFF)
+        browse_id = self._request_id()
         self._own_browses.add(browse_id)
         self._send(target_id, BrowseRequest(browse_id=browse_id))
         return browse_id

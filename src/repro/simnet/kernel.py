@@ -130,34 +130,64 @@ class Simulator:
                 processed += 1
         else:
             # instrumented twin of the loop above: one dict get/set per
-            # event, plus a perf_counter pair around every Nth callback
+            # event, plus a perf_counter pair around every Nth callback.
+            # ``on_event`` is the optional per-event hook of the telemetry
+            # duck type (the determinism selfcheck hangs its event-stream
+            # digest here); absent on the standard KernelTelemetry, in
+            # which case the hook-free twin below runs instead — the
+            # common instrumented path pays nothing for the slot.
             from time import perf_counter
 
             counts = telemetry.label_counts
             counts_get = counts.get
             sample_every = telemetry.sample_every
             since_sample = telemetry.since_sample
-            while not self._halted:
-                if max_events is not None and processed >= max_events:
-                    break
-                next_time = queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                event = queue.pop()
-                assert event is not None
-                clock.advance_to(event.time)
-                label = event.label
-                counts[label] = counts_get(label, 0) + 1
-                since_sample += 1
-                if since_sample >= sample_every:
-                    since_sample = 0
-                    started = perf_counter()
-                    event.callback()
-                    telemetry.observe_callback(
-                        label, perf_counter() - started)
-                else:
-                    event.callback()
-                processed += 1
+            on_event = getattr(telemetry, "on_event", None)
+            if on_event is None:
+                while not self._halted:
+                    if max_events is not None and processed >= max_events:
+                        break
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > end_time:
+                        break
+                    event = queue.pop()
+                    assert event is not None
+                    clock.advance_to(event.time)
+                    label = event.label
+                    counts[label] = counts_get(label, 0) + 1
+                    since_sample += 1
+                    if since_sample >= sample_every:
+                        since_sample = 0
+                        started = perf_counter()
+                        event.callback()
+                        telemetry.observe_callback(
+                            label, perf_counter() - started)
+                    else:
+                        event.callback()
+                    processed += 1
+            else:
+                while not self._halted:
+                    if max_events is not None and processed >= max_events:
+                        break
+                    next_time = queue.peek_time()
+                    if next_time is None or next_time > end_time:
+                        break
+                    event = queue.pop()
+                    assert event is not None
+                    clock.advance_to(event.time)
+                    label = event.label
+                    counts[label] = counts_get(label, 0) + 1
+                    on_event(event.time, label)
+                    since_sample += 1
+                    if since_sample >= sample_every:
+                        since_sample = 0
+                        started = perf_counter()
+                        event.callback()
+                        telemetry.observe_callback(
+                            label, perf_counter() - started)
+                    else:
+                        event.callback()
+                    processed += 1
             telemetry.since_sample = since_sample
         remaining = queue.peek_time()
         if not self._halted and (remaining is None or remaining > end_time):

@@ -1,0 +1,22 @@
+"""Helpers for the devtools (detlint / sanitizer / selfcheck) tests."""
+
+import ast
+from pathlib import Path
+
+from repro.devtools.detlint import Module, all_rules
+
+
+def lint_source(source, dotted="repro.gnutella.fake",
+                relpath="src/repro/gnutella/fake.py",
+                rng_modules=("repro.simnet.rng",)):
+    """Run every DET rule over a source snippet; findings come sorted."""
+    module = Module(path=Path(relpath), relpath=relpath, dotted=dotted,
+                    tree=ast.parse(source), source=source)
+    findings = []
+    for rule in all_rules(tuple(rng_modules)):
+        findings.extend(rule.check(module))
+    return sorted(findings)
+
+
+def codes(findings):
+    return [finding.code for finding in findings]

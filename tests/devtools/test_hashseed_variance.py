@@ -1,0 +1,67 @@
+"""PYTHONHASHSEED variance: the linter's heuristics cannot prove hash
+independence, so prove it empirically.
+
+Two subprocesses run the identical short campaign under different hash
+seeds and must print byte-identical summaries (headline metrics plus a
+sha256 over every stored response record).  This is the regression
+test for the class of bug fixed in ``openft/nodes.py`` -- builtin
+``hash()`` of an endpoint string leaking into protocol ids.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SCRIPT = """
+import hashlib, json, sys
+from repro.core.experiments import HEADLINE_METRICS
+from repro.core.measure import CampaignConfig
+from repro.core.measure.campaign import (run_limewire_campaign,
+                                         run_openft_campaign)
+from repro.peers.profiles import GnutellaProfile, OpenFTProfile
+
+network = sys.argv[1]
+if network == "limewire":
+    result = run_limewire_campaign(CampaignConfig(seed=5, duration_days=0.05),
+                                   profile=GnutellaProfile().scaled(0.3))
+else:
+    result = run_openft_campaign(CampaignConfig(seed=5, duration_days=0.05),
+                                 profile=OpenFTProfile().scaled(0.3))
+digest = hashlib.sha256()
+for record in result.store:
+    digest.update(json.dumps(record.to_json(), sort_keys=True).encode())
+print(json.dumps({
+    "records": len(result.store),
+    "store_sha256": digest.hexdigest(),
+    "metrics": {name: fn(result)
+                for name, fn in sorted(HEADLINE_METRICS[network].items())},
+}, sort_keys=True))
+"""
+
+
+def run_campaign_summary(network: str, hash_seed: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, network],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("network", ["limewire", "openft"])
+def test_campaign_invariant_under_hash_seed(network):
+    first = run_campaign_summary(network, hash_seed=0)
+    second = run_campaign_summary(network, hash_seed=31337)
+    assert first["records"] > 0
+    assert first == second, (
+        f"{network} campaign varies with PYTHONHASHSEED: "
+        f"{first} != {second}")

@@ -1,0 +1,102 @@
+"""Runtime sanitizer: tripwires, record mode, clean restoration."""
+
+import os
+import random
+import time
+import uuid
+
+import pytest
+
+from repro.devtools.sanitizer import (DeterminismSanitizer, EntropyViolation,
+                                      Violation)
+from repro.simnet.rng import SeededStream
+
+
+class TestRaiseMode:
+    def test_bare_random_raises(self):
+        with DeterminismSanitizer():
+            with pytest.raises(EntropyViolation):
+                random.random()
+
+    def test_other_random_draws_raise(self):
+        with DeterminismSanitizer():
+            with pytest.raises(EntropyViolation):
+                random.uniform(0.0, 1.0)
+            with pytest.raises(EntropyViolation):
+                random.shuffle([1, 2, 3])
+
+    def test_time_time_raises_but_perf_counter_survives(self):
+        with DeterminismSanitizer():
+            with pytest.raises(EntropyViolation):
+                time.time()
+            # the telemetry sampling whitelist must keep working
+            assert time.perf_counter() > 0
+
+    def test_urandom_and_uuid4_raise(self):
+        with DeterminismSanitizer():
+            with pytest.raises(EntropyViolation):
+                os.urandom(4)
+            with pytest.raises(EntropyViolation):
+                uuid.uuid4()
+
+    def test_message_names_call_site(self):
+        with DeterminismSanitizer():
+            with pytest.raises(EntropyViolation,
+                               match="random.random"):
+                random.random()
+
+
+class TestRecordMode:
+    def test_calls_pass_through_and_are_recorded(self):
+        with DeterminismSanitizer(mode="record") as sanitizer:
+            value = random.random()
+        assert 0.0 <= value < 1.0
+        assert len(sanitizer.violations) == 1
+        violation = sanitizer.violations[0]
+        assert isinstance(violation, Violation)
+        assert violation.source == "random.random"
+        assert violation.filename.endswith("test_sanitizer.py")
+        assert "test_calls_pass_through" in violation.function
+
+    def test_multiple_sources_recorded_in_order(self):
+        with DeterminismSanitizer(mode="record") as sanitizer:
+            random.random()
+            time.time()
+        assert [v.source for v in sanitizer.violations] == [
+            "random.random", "time.time"]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DeterminismSanitizer(mode="explode")
+
+
+class TestRestoration:
+    def test_originals_restored_after_exit(self):
+        original_random = random.random
+        original_time = time.time
+        with DeterminismSanitizer():
+            assert random.random is not original_random
+        assert random.random is original_random
+        assert time.time is original_time
+
+    def test_restored_after_exception(self):
+        original = random.random
+        with pytest.raises(RuntimeError):
+            with DeterminismSanitizer():
+                raise RuntimeError("boom")
+        assert random.random is original
+
+    def test_nesting_is_rejected(self):
+        with DeterminismSanitizer():
+            with pytest.raises(RuntimeError, match="already armed"):
+                with DeterminismSanitizer():
+                    pass  # pragma: no cover
+        # and the outer exit still restores cleanly
+        assert not DeterminismSanitizer._armed
+
+    def test_named_streams_keep_working_inside(self):
+        stream = SeededStream(7, "test")
+        with DeterminismSanitizer():
+            values = [stream.uniform(0.0, 1.0) for _ in range(5)]
+        assert SeededStream(7, "test").uniform(0.0, 1.0) == pytest.approx(
+            values[0])
