@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Benchmark baseline runner: record the perf trajectory of the repo.
 
-Times the four hot paths the campaign fast-path work targets --
+Times the hot paths the campaign fast-path and chaos-harness work
+target --
 
 * **events/sec**: raw kernel throughput, including a churn-heavy phase
   that cancels half its timers (exercises heap compaction);
@@ -13,6 +14,10 @@ Times the four hot paths the campaign fast-path work targets --
   ``KernelTelemetry`` attached (per-label counting + sampled callback
   timing), reported as percent slowdown vs the plain loop -- the cost of
   leaving telemetry enabled, gated in CI via ``--assert-overhead``;
+* **fault-harness overhead**: the same campaign run with
+  ``fault_plan=None`` vs an armed-but-idle :class:`FaultPlan` (all
+  probabilities zero), proving the chaos taps cost nothing when no
+  fault fires and the faults-off hot path is untouched;
 * **replication wall-clock**: a multi-seed `run_replications` campaign,
   serial vs process-pool parallel;
 
@@ -168,6 +173,62 @@ def bench_scans(scans: int) -> dict:
     }
 
 
+def bench_chaos(days: float) -> dict:
+    """Fault-harness overhead: a campaign with an idle plan armed.
+
+    Two legs over the same seed: ``fault_plan=None`` (no chaos code on
+    any hot path) vs an *idle* plan -- every injector tap installed and
+    consulted per delivery/fetch, but all probabilities zero so no
+    fault ever fires.  The legs must produce identical headline
+    metrics (asserted); the wall-clock delta is the standing cost of
+    arming the harness, gated in CI via ``--assert-overhead``.
+    """
+    from repro.core.experiments import replicate_one
+    from repro.core.measure.campaign import CampaignConfig
+    from repro.faults import (FaultPlan, LatencyStorm, LossBurst,
+                              SlowServe, Tamper)
+    from repro.peers.profiles import GnutellaProfile
+    from repro.simnet.clock import days as days_to_seconds
+
+    profile = GnutellaProfile().scaled(0.5)
+    horizon_s = days_to_seconds(days)
+    idle_plan = FaultPlan(clauses=(
+        LossBurst(0.0, horizon_s, 0.0),
+        LatencyStorm(0.0, horizon_s, 0.0, 0.0),
+        SlowServe(0.0, horizon_s, 0.0, 5.0, 5.0),
+        Tamper(0.0, horizon_s, 0.0, 0.0),
+    ))
+
+    def one_run(plan) -> float:
+        config = CampaignConfig(seed=11, duration_days=days,
+                                fault_plan=plan)
+        start = time.perf_counter()
+        metrics = replicate_one("limewire", config, profile, seed=11)
+        return time.perf_counter() - start, metrics
+
+    # same interleaving rationale as bench_telemetry: overhead is a
+    # ratio of two similar numbers, so let load drift hit both legs
+    off_times, armed_times = [], []
+    off_metrics = armed_metrics = None
+    for _ in range(3):
+        elapsed, off_metrics = one_run(None)
+        off_times.append(elapsed)
+        elapsed, armed_metrics = one_run(idle_plan)
+        armed_times.append(elapsed)
+    if off_metrics != armed_metrics:
+        raise AssertionError(
+            f"idle fault plan perturbed the measurement: "
+            f"{off_metrics!r} != {armed_metrics!r}")
+    off_s = min(off_times)
+    armed_s = min(armed_times)
+    return {
+        "chaos_off_s": off_s,
+        "chaos_armed_s": armed_s,
+        "chaos_idle_overhead_pct": ((armed_s - off_s) / off_s * 100.0
+                                    if off_s else 0.0),
+    }
+
+
 def bench_replications(seeds: int, days: float, workers: int) -> dict:
     """Multi-seed campaign wall-clock, serial vs parallel."""
     from repro.core.experiments import run_replications
@@ -219,6 +280,12 @@ def run(quick: bool, workers: int) -> dict:
     print(f"  {results['scans_per_sec']:,.0f} scans/sec "
           f"(cache hit rate {results['cache_hit_rate']:.1%}, "
           f"registry-sourced)")
+    print("benchmarking fault-harness overhead...", flush=True)
+    results.update(bench_chaos(days=0.05 if quick else 0.1))
+    print(f"  off {results['chaos_off_s']:.2f}s, "
+          f"armed-idle {results['chaos_armed_s']:.2f}s "
+          f"(overhead {results['chaos_idle_overhead_pct']:+.1f}%, "
+          f"metrics identical)")
     print("benchmarking replication campaign...", flush=True)
     results.update(bench_replications(
         seeds=2 if quick else 8, days=0.1 if quick else 0.25,
@@ -243,7 +310,8 @@ def main(argv=None) -> int:
                         help="revision label (default: git short hash)")
     parser.add_argument("--assert-overhead", type=float, default=None,
                         metavar="PCT",
-                        help="exit non-zero when telemetry overhead "
+                        help="exit non-zero when any *_overhead_pct "
+                             "metric (telemetry, idle fault harness) "
                              "exceeds PCT percent (CI gate)")
     args = parser.parse_args(argv)
 
@@ -260,15 +328,19 @@ def main(argv=None) -> int:
     path = args.out / f"BENCH_{rev}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
-    if (args.assert_overhead is not None
-            and results["telemetry_overhead_pct"] > args.assert_overhead):
-        print(f"FAIL: telemetry overhead "
-              f"{results['telemetry_overhead_pct']:.1f}% exceeds the "
-              f"{args.assert_overhead:g}% budget "
-              f"({results['events_per_sec']:,.0f} events/sec plain vs "
-              f"{results['events_per_sec_telemetry']:,.0f} events/sec "
-              f"with telemetry)", file=sys.stderr)
-        return 1
+    if args.assert_overhead is not None:
+        over = {name: value for name, value in sorted(results.items())
+                if name.endswith("_overhead_pct")
+                and value > args.assert_overhead}
+        if over:
+            detail = ", ".join(f"{name} {value:.1f}%"
+                               for name, value in over.items())
+            print(f"FAIL: overhead budget {args.assert_overhead:g}% "
+                  f"exceeded: {detail} "
+                  f"({results['events_per_sec']:,.0f} events/sec plain "
+                  f"vs {results['events_per_sec_telemetry']:,.0f} "
+                  f"events/sec with telemetry)", file=sys.stderr)
+            return 1
     return 0
 
 

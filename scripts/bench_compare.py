@@ -5,7 +5,10 @@ Prints a metric-by-metric table (baseline vs current, % change) and
 flags regressions: a throughput metric that dropped, or a wall-clock
 metric that grew, by more than ``--threshold`` percent.  With
 ``--strict`` a flagged regression makes the script exit non-zero, so CI
-can gate on it.
+can gate on it.  ``--assert-overhead PCT`` additionally bounds every
+``*_overhead_pct`` metric of the *current* run by an absolute budget
+(telemetry attach cost, idle fault-harness cost) and always fails on a
+breach, strict or not.
 
 Usage::
 
@@ -34,6 +37,9 @@ DIRECTIONS = {
     "telemetry_overhead_pct": False,
     "scans_per_sec": True,
     "cache_hit_rate": True,
+    "chaos_off_s": False,
+    "chaos_armed_s": False,
+    "chaos_idle_overhead_pct": False,
     "replication_serial_s": False,
     "replication_parallel_s": False,
     "replication_speedup": True,
@@ -69,7 +75,7 @@ def compare(baseline: dict, current: dict, threshold: float):
         higher_better = DIRECTIONS.get(metric)
         if higher_better is None:
             regressed = False
-        elif metric == "telemetry_overhead_pct":
+        elif metric.endswith("_overhead_pct"):
             # already a percentage: compare absolute points, not the
             # relative change of a near-zero number
             regressed = new - old > threshold
@@ -93,6 +99,12 @@ def main(argv=None) -> int:
                         help="percent change that counts as a regression")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any tracked metric regressed")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 when any *_overhead_pct metric in "
+                             "the CURRENT results exceeds PCT percent "
+                             "(absolute budget, independent of the "
+                             "baseline)")
     args = parser.parse_args(argv)
 
     if args.baseline and args.current:
@@ -128,11 +140,25 @@ def main(argv=None) -> int:
               f"{pct:>+8.1f}%{flag}")
         if regressed:
             regressions.append(metric)
+    over_budget = []
+    if args.assert_overhead is not None:
+        for metric, value in sorted(current["results"].items()):
+            if (metric.endswith("_overhead_pct")
+                    and isinstance(value, (int, float))
+                    and value > args.assert_overhead):
+                over_budget.append(f"{metric} {value:.1f}%")
+        if over_budget:
+            print(f"\noverhead budget {args.assert_overhead:g}% "
+                  f"exceeded: {', '.join(over_budget)}")
     if regressions:
         print(f"\n{len(regressions)} regression(s) past "
               f"{args.threshold:g}%: {', '.join(regressions)}")
+    elif not over_budget:
+        print("\nno regressions past threshold")
+    if over_budget:
+        return 1
+    if regressions:
         return 1 if args.strict else 0
-    print("\nno regressions past threshold")
     return 0
 
 

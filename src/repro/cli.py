@@ -4,6 +4,7 @@ The subcommands mirror the study's workflow::
 
     repro-study run       --network both --days 1 --seed 2 --out data/
     repro-study replicate --network limewire --seeds 8 --workers 4
+    repro-study chaos     --quick
     repro-study analyze   data/limewire.jsonl --table all
     repro-study filter-eval data/limewire.jsonl
     repro-study telemetry --network limewire --days 1 --out telemetry/
@@ -39,6 +40,7 @@ from .core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
                              evaluate_filters)
 from .core.measure import (CampaignConfig, MeasurementStore,
                            run_limewire_campaign, run_openft_campaign)
+from .faults import SEVERITIES
 from .malware.corpus import limewire_strains
 
 __all__ = ["main", "build_parser"]
@@ -97,6 +99,36 @@ def build_parser() -> argparse.ArgumentParser:
                            help="arm the runtime determinism sanitizer in "
                                 "every replication (forbidden entropy "
                                 "sources abort the run)")
+    replicate.add_argument("--checkpoint", type=Path, default=None,
+                           help="JSONL journal of completed seeds; an "
+                                "interrupted campaign rerun with the same "
+                                "path resumes instead of recomputing")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="experiment R1: sweep the graded fault envelopes over both "
+             "networks and check the headline claims under stress")
+    chaos.add_argument("--network", choices=("limewire", "openft", "both"),
+                       default="both")
+    chaos.add_argument("--severities", nargs="*", choices=SEVERITIES,
+                       default=None,
+                       help="severity rungs to sweep (default: all, "
+                            "mildest first)")
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="replication seeds per (severity, network)")
+    chaos.add_argument("--base-seed", type=int, default=1)
+    chaos.add_argument("--days", type=float, default=0.25,
+                       help="virtual days per campaign")
+    chaos.add_argument("--scale", type=float, default=0.5,
+                       help="population scale factor")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="campaign processes per replication cell")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="arm the determinism sanitizer inside every "
+                            "faulted campaign")
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI smoke preset: one seed, 0.1 days, scale "
+                            "0.35, severities off+moderate")
 
     telemetry = subparsers.add_parser(
         "telemetry",
@@ -202,12 +234,41 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     report = run_replications(args.network, seeds, config,
                               workers=workers,
                               telemetry_dir=args.telemetry_dir,
-                              sanitize=args.sanitize)
+                              sanitize=args.sanitize,
+                              checkpoint=args.checkpoint)
     print(report.render())
     if report.telemetry_path is not None:
         print(f"\nmerged telemetry ({len(report.registry)} metrics) "
               f"-> {report.telemetry_path}")
-    return 0
+    return 1 if report.degraded else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .core.chaos import run_fault_envelope
+
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.quick:
+        severities = ("off", "moderate")
+        seeds = (args.base_seed,)
+        duration_days, scale = 0.1, 0.35
+    else:
+        severities = (tuple(args.severities) if args.severities
+                      else SEVERITIES)
+        seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
+        duration_days, scale = args.days, args.scale
+    networks = (("limewire", "openft") if args.network == "both"
+                else (args.network,))
+    print(f"chaos sweep: {list(networks)} x {list(severities)}, "
+          f"seeds {list(seeds)}, {duration_days:g} virtual days, "
+          f"scale {scale:g}...")
+    report = run_fault_envelope(networks=networks, severities=severities,
+                                seeds=seeds, duration_days=duration_days,
+                                scale=scale, workers=args.workers,
+                                sanitize=args.sanitize)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -374,7 +435,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "analyze": _cmd_analyze,
-                "replicate": _cmd_replicate,
+                "replicate": _cmd_replicate, "chaos": _cmd_chaos,
                 "filter-eval": _cmd_filter_eval, "export": _cmd_export,
                 "telemetry": _cmd_telemetry,
                 "lint": _cmd_lint, "selfcheck": _cmd_selfcheck}

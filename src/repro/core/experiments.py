@@ -10,10 +10,14 @@ aggregates mean / min / max -- the numbers EXPERIMENTS.md quotes as
 from __future__ import annotations
 
 import functools
+import hashlib
+import json
+import traceback
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import InjectedWorkerCrash
 from ..telemetry.registry import MetricRegistry
 from ..telemetry.runtime import CampaignTelemetry
 from .analysis.concentration import top_n_share
@@ -24,7 +28,8 @@ from .measure.campaign import (CampaignConfig, CampaignResult,
 from .parallel import merge_worker_registries, parallel_map
 
 __all__ = ["MetricSummary", "ReplicationReport", "HEADLINE_METRICS",
-           "replicate_one", "run_replications"]
+           "SeedFailure", "CheckpointJournal", "replicate_one",
+           "run_replications"]
 
 MetricFn = Callable[[CampaignResult], float]
 
@@ -73,6 +78,15 @@ class MetricSummary:
 
 
 @dataclass(frozen=True)
+class SeedFailure:
+    """One replication seed that failed its attempt *and* its retry."""
+
+    seed: int
+    attempts: int
+    error: str
+
+
+@dataclass(frozen=True)
 class ReplicationReport:
     """All metrics for one network across seeds."""
 
@@ -83,6 +97,13 @@ class ReplicationReport:
     registry: Optional[MetricRegistry] = None
     #: where the merged Prometheus textfile was written, if anywhere
     telemetry_path: Optional[Path] = None
+    #: seeds whose campaigns actually completed (== ``seeds`` unless
+    #: the run degraded)
+    completed_seeds: tuple = ()
+    #: True when at least one seed was quarantined after its retry;
+    #: the metrics then summarize the surviving seeds only
+    degraded: bool = False
+    failures: Tuple[SeedFailure, ...] = ()
 
     def render(self) -> str:
         """Text table of the replication results."""
@@ -91,12 +112,17 @@ class ReplicationReport:
         for name, summary in self.metrics.items():
             lines.append(f"{name:<15s} {summary.mean:7.1%} "
                          f"{summary.low:7.1%} {summary.high:7.1%}")
+        if self.degraded:
+            dead = [failure.seed for failure in self.failures]
+            lines.append(f"DEGRADED: seeds {dead} quarantined after retry; "
+                         f"metrics cover {len(self.completed_seeds)}/"
+                         f"{len(self.seeds)} seeds")
         return "\n".join(lines)
 
 
 def replicate_one(network: str, config: CampaignConfig, profile,
                   seed: int, telemetry_dir: Optional[Path] = None,
-                  sanitize: bool = False):
+                  sanitize: bool = False, attempt: int = 0):
     """Run one seed's campaign and return its headline metric values.
 
     Top-level (and therefore picklable) on purpose: this is the unit of
@@ -118,6 +144,10 @@ def replicate_one(network: str, config: CampaignConfig, profile,
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
+    crash = config.fault_plan.worker_crash if config.fault_plan else None
+    if crash is not None and crash.should_crash(seed, attempt):
+        raise InjectedWorkerCrash(
+            f"injected worker crash: seed {seed}, attempt {attempt}")
     runner = (run_limewire_campaign if network == "limewire"
               else run_openft_campaign)
     telemetry = None
@@ -143,11 +173,126 @@ def replicate_one(network: str, config: CampaignConfig, profile,
     return metrics, telemetry.registry.snapshot()
 
 
+@dataclass(frozen=True)
+class _SeedOutcome:
+    """What one guarded replication attempt reported back.
+
+    Plain picklable fields only: outcomes cross the process boundary.
+    """
+
+    seed: int
+    attempt: int
+    ok: bool
+    metrics: Optional[dict] = None
+    snapshot: Optional[dict] = None
+    error: str = ""
+
+
+def _guarded_replicate(network: str, config: CampaignConfig, profile,
+                       seed_attempt, telemetry_dir=None,
+                       sanitize: bool = False) -> _SeedOutcome:
+    """Run one seed, converting any crash into a reportable outcome.
+
+    Top-level and picklable, like :func:`replicate_one`.  A worker
+    exception must never take the whole campaign down with it -- it
+    comes back as ``ok=False`` with the traceback, and the parent
+    decides whether to retry or quarantine the seed.
+    """
+    seed, attempt = seed_attempt
+    try:
+        result = replicate_one(network, config, profile, seed,
+                               telemetry_dir=telemetry_dir,
+                               sanitize=sanitize, attempt=attempt)
+    except Exception:
+        return _SeedOutcome(seed=seed, attempt=attempt, ok=False,
+                            error=traceback.format_exc())
+    if telemetry_dir is not None:
+        metrics, snapshot = result
+    else:
+        metrics, snapshot = result, None
+    return _SeedOutcome(seed=seed, attempt=attempt, ok=True,
+                        metrics=metrics, snapshot=snapshot)
+
+
+def _experiment_fingerprint(network: str, config: CampaignConfig,
+                            profile) -> str:
+    """Identity a checkpoint journal is only valid for.
+
+    Built from everything that shapes a seed's *measured* result --
+    network, config (with the fault plan reduced to its simulated
+    clauses via ``scientific_key``) and profile.  Worker-crash chaos is
+    excluded on purpose: a checkpoint written under pipeline chaos
+    stays valid when resuming without it, and vice versa.
+    """
+    plan = config.fault_plan
+    # a clause-less plan (or worker-crash-only chaos) measures the same
+    # results as no plan at all, so both map to the empty key
+    science = plan.scientific_key() if plan and plan.clauses else ""
+    bare = replace(config, fault_plan=None)
+    raw = f"{network}|{bare!r}|faults:{science}|{profile!r}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed replication seeds.
+
+    First line is a header binding the journal to one experiment
+    fingerprint; every further line is one completed seed with its
+    metrics (and registry snapshot when telemetry is on).  Rerunning
+    ``run_replications`` with the same ``checkpoint`` path skips the
+    recorded seeds and completes the rest, producing a report identical
+    to an uninterrupted run.
+    """
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        #: seed -> journal entry for every recorded completion
+        self.completed: Dict[int, dict] = {}
+        if self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append({"kind": "header", "fingerprint": fingerprint})
+
+    def _load(self) -> None:
+        entries = [json.loads(line)
+                   for line in self.path.read_text("utf-8").splitlines()
+                   if line.strip()]
+        if not entries or entries[0].get("kind") != "header":
+            raise ValueError(f"{self.path}: not a replication checkpoint")
+        found = entries[0].get("fingerprint")
+        if found != self.fingerprint:
+            raise ValueError(
+                f"{self.path}: checkpoint was written by a different "
+                f"experiment configuration; delete it or point "
+                f"--checkpoint elsewhere")
+        for entry in entries[1:]:
+            if entry.get("kind") == "seed":
+                self.completed[int(entry["seed"])] = entry
+
+    def record(self, seed: int, metrics: dict,
+               snapshot: Optional[dict]) -> None:
+        """Persist one completed seed (idempotent: re-records are no-ops,
+        which absorbs the serial-redo replay after a broken pool)."""
+        if seed in self.completed:
+            return
+        entry = {"kind": "seed", "seed": seed, "metrics": metrics,
+                 "snapshot": snapshot}
+        self.completed[seed] = entry
+        self._append(entry)
+
+    def _append(self, obj: dict) -> None:
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(obj, sort_keys=True) + "\n")
+
+
 def run_replications(network: str, seeds: Sequence[int],
                      config: CampaignConfig, profile=None,
                      workers: Optional[int] = 1,
                      telemetry_dir: Optional[Path] = None,
                      sanitize: bool = False,
+                     checkpoint: Optional[Path] = None,
                      ) -> ReplicationReport:
     """Run one campaign per seed and summarize the headline metrics.
 
@@ -166,30 +311,87 @@ def run_replications(network: str, seeds: Sequence[int],
     replication (see :mod:`repro.devtools.sanitizer`): an opt-in
     correctness mode that turns any forbidden entropy use into a hard
     failure.  Off by default -- it patches hot global entry points.
+
+    The run self-heals: a seed whose worker crashes is retried once,
+    and a seed that fails its retry too is quarantined -- the report
+    then carries the surviving seeds' metrics with ``degraded=True``
+    and the per-seed errors in ``failures``.  Only a campaign where
+    *every* seed dies raises.  ``checkpoint`` names a
+    :class:`CheckpointJournal` file: completed seeds are persisted as
+    they land and skipped on the next invocation, so an interrupted
+    campaign resumes instead of recomputing.
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
     metric_fns = HEADLINE_METRICS[network]
-    worker = functools.partial(replicate_one, network, config, profile,
+    seeds = list(seeds)
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            Path(checkpoint),
+            _experiment_fingerprint(network, config, profile))
+    completed: Dict[int, tuple] = {}
+    if journal is not None:
+        for seed in seeds:
+            entry = journal.completed.get(seed)
+            if entry is not None:
+                completed[seed] = (entry["metrics"], entry.get("snapshot"))
+
+    def on_result(seed_attempt, outcome: _SeedOutcome) -> None:
+        if journal is not None and outcome.ok:
+            journal.record(outcome.seed, outcome.metrics, outcome.snapshot)
+
+    worker = functools.partial(_guarded_replicate, network, config, profile,
                                telemetry_dir=telemetry_dir,
                                sanitize=sanitize)
-    per_seed = parallel_map(worker, list(seeds), workers=workers)
+    pending = [seed for seed in seeds if seed not in completed]
+    outcomes = parallel_map(worker, [(seed, 0) for seed in pending],
+                            workers=workers, on_result=on_result)
+    to_retry: List[int] = []
+    for outcome in outcomes:
+        if outcome.ok:
+            completed[outcome.seed] = (outcome.metrics, outcome.snapshot)
+        else:
+            to_retry.append(outcome.seed)
+    failures: Dict[int, _SeedOutcome] = {}
+    if to_retry:
+        retried = parallel_map(worker, [(seed, 1) for seed in to_retry],
+                               workers=workers, on_result=on_result)
+        for outcome in retried:
+            if outcome.ok:
+                completed[outcome.seed] = (outcome.metrics,
+                                           outcome.snapshot)
+            else:
+                failures[outcome.seed] = outcome
+    survivors = [seed for seed in seeds if seed in completed]
+    if not survivors:
+        first = failures[seeds[0]] if seeds[0] in failures else (
+            next(iter(failures.values())))
+        raise RuntimeError(
+            f"every replication seed failed; first error:\n{first.error}")
+
     registry = None
     telemetry_path = None
     if telemetry_dir is not None:
-        snapshots = [snapshot for _, snapshot in per_seed]
-        per_seed = [metrics for metrics, _ in per_seed]
-        registry = merge_worker_registries(MetricRegistry(), snapshots)
+        registry = merge_worker_registries(
+            MetricRegistry(),
+            [completed[seed][1] for seed in survivors])
         telemetry_path = (Path(telemetry_dir)
                           / f"{network}_merged_metrics.prom")
         telemetry_path.write_text(registry.render_prometheus(),
                                   encoding="utf-8")
     per_metric: Dict[str, List[float]] = {name: [] for name in metric_fns}
-    for metrics in per_seed:
+    for seed in survivors:
+        metrics = completed[seed][0]
         for name in metric_fns:
             per_metric[name].append(metrics[name])
     return ReplicationReport(
         network=network, seeds=tuple(seeds),
         metrics={name: MetricSummary(name=name, values=tuple(values))
                  for name, values in per_metric.items()},
-        registry=registry, telemetry_path=telemetry_path)
+        registry=registry, telemetry_path=telemetry_path,
+        completed_seeds=tuple(survivors),
+        degraded=bool(failures),
+        failures=tuple(SeedFailure(seed=seed, attempts=2,
+                                   error=failures[seed].error)
+                       for seed in seeds if seed in failures))

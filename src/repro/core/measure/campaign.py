@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from ...faults import FaultInjector, FaultPlan, FetchFaults
 from ...malware.corpus import limewire_strains, openft_strains
 from ...peers.population import (BuiltWorld, build_gnutella_world,
                                  build_openft_world)
@@ -50,6 +51,9 @@ class CampaignConfig:
     #: virtual seconds granted after the horizon so in-flight downloads
     #: and retries complete
     drain_s: float = 7200.0
+    #: declarative fault schedule; None (the default) runs the campaign
+    #: bit-identically to a build without the chaos harness
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.duration_days <= 0:
@@ -70,6 +74,9 @@ class CampaignResult:
     engine: Optional[ScanEngine] = None
     #: the run's telemetry bundle (registry/tracer/journal) when enabled
     telemetry: Optional[CampaignTelemetry] = None
+    #: the transport fault injector when a plan was armed (exposes the
+    #: per-kind injection tallies)
+    faults: Optional[FaultInjector] = None
 
     @property
     def sim(self) -> Simulator:
@@ -108,6 +115,42 @@ def _install_journal(telemetry: CampaignTelemetry, sim: Simulator,
     journal.install(sim, until=until)
 
 
+def _arm_faults(config: CampaignConfig, world: BuiltWorld, registry):
+    """Install the plan's injectors on a freshly built world.
+
+    Returns ``(transport_injector, fetch_faults)``; both None when the
+    plan has no simulated clauses (including the worker-crash-only
+    case, which never touches the simulator).
+    """
+    plan = config.fault_plan
+    if plan is None or not plan.clauses:
+        return None, None
+    injector = None
+    if plan.transport_clauses:
+        injector = FaultInjector(world.sim, world.transport, plan,
+                                 registry=registry)
+        injector.install()
+    fetch_faults = None
+    if plan.fetch_clauses:
+        fetch_faults = FetchFaults(world.sim, plan, registry=registry)
+    return injector, fetch_faults
+
+
+def _export_transport(registry, transport) -> None:
+    """Fold the transport's delivery tallies into the run's registry."""
+    dropped = registry.counter(
+        "transport_dropped_total",
+        "Messages dropped by the transport, by cause.",
+        labels=("cause",))
+    for cause in sorted(transport.drop_causes):
+        count = transport.drop_causes[cause]
+        if count:
+            dropped.labels(cause).inc(count)
+    registry.counter(
+        "transport_delivered_total",
+        "Messages delivered by the transport.").inc(transport.delivered)
+
+
 def _run(config: CampaignConfig, world: BuiltWorld, collector,
          workload: QueryWorkload,
          telemetry: Optional[CampaignTelemetry] = None) -> None:
@@ -120,6 +163,7 @@ def _run(config: CampaignConfig, world: BuiltWorld, collector,
     sim.run_until(horizon + config.drain_s)
     if telemetry is not None:
         # run_until already flushed the kernel counters; settle the rest
+        _export_transport(telemetry.registry, world.transport)
         telemetry.tracer.close_open(sim.now)
         if telemetry.journal is not None:
             telemetry.journal.close(sim)
@@ -145,6 +189,7 @@ def run_limewire_campaign(config: Optional[CampaignConfig] = None,
                     telemetry=telemetry.kernel if telemetry else None)
     horizon = days(config.duration_days)
     world = build_gnutella_world(sim, profile, strains, horizon)
+    injector, fetch_faults = _arm_faults(config, world, registry)
 
     crawler = world.network.bootstrap_crawler("crawler",
                                               _crawler_address(world))
@@ -153,7 +198,8 @@ def run_limewire_campaign(config: Optional[CampaignConfig] = None,
                                              config.scanner_coverage),
                         registry=registry)
     downloader = Downloader(sim, engine, config.download_policy,
-                            registry=registry, tracer=tracer)
+                            registry=registry, tracer=tracer,
+                            faults=fetch_faults)
     collector = LimewireCollector(sim, world.network, crawler, store,
                                   downloader, registry=registry,
                                   tracer=tracer)
@@ -166,7 +212,8 @@ def run_limewire_campaign(config: Optional[CampaignConfig] = None,
                          until=horizon + config.drain_s)
     _run(config, world, collector, workload, telemetry)
     return CampaignResult(store=store, world=world, config=config,
-                          engine=engine, telemetry=telemetry)
+                          engine=engine, telemetry=telemetry,
+                          faults=injector)
 
 
 def run_openft_campaign(config: Optional[CampaignConfig] = None,
@@ -187,6 +234,7 @@ def run_openft_campaign(config: Optional[CampaignConfig] = None,
                     telemetry=telemetry.kernel if telemetry else None)
     horizon = days(config.duration_days)
     world = build_openft_world(sim, profile, strains, horizon)
+    injector, fetch_faults = _arm_faults(config, world, registry)
     # let child adoptions and initial share syncs settle before measuring
     sim.run_until(300.0)
 
@@ -198,7 +246,8 @@ def run_openft_campaign(config: Optional[CampaignConfig] = None,
                                              config.scanner_coverage),
                         registry=registry)
     downloader = Downloader(sim, engine, config.download_policy,
-                            registry=registry, tracer=tracer)
+                            registry=registry, tracer=tracer,
+                            faults=fetch_faults)
     collector = OpenFTCollector(sim, world.network, crawler, store,
                                 downloader, registry=registry,
                                 tracer=tracer)
@@ -211,7 +260,8 @@ def run_openft_campaign(config: Optional[CampaignConfig] = None,
                          until=horizon + config.drain_s)
     _run(config, world, collector, workload, telemetry)
     return CampaignResult(store=store, world=world, config=config,
-                          engine=engine, telemetry=telemetry)
+                          engine=engine, telemetry=telemetry,
+                          faults=injector)
 
 
 def _crawler_address(world: BuiltWorld):

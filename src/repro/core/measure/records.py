@@ -43,6 +43,9 @@ class ResponseRecord:
     # -- post-processing annotations -------------------------------------
     download_attempted: bool = False
     downloaded: bool = False
+    #: terminal downloader outcome: "" (never resolved) | "success" |
+    #: "offline" | "timeout" | "truncated" | "corrupt"
+    download_outcome: str = ""
     malware_name: Optional[str] = None
 
     @property

@@ -32,7 +32,9 @@ def resolve_workers(workers: Optional[int], tasks: int) -> int:
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
-                 workers: Optional[int] = None) -> List[R]:
+                 workers: Optional[int] = None,
+                 on_result: Optional[Callable[[T, R], None]] = None,
+                 ) -> List[R]:
     """Map ``fn`` over ``items``, fanning out over processes when possible.
 
     ``fn`` and every item must be picklable when ``workers > 1`` (the
@@ -40,23 +42,44 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     back in input order.  Any failure to *start* the pool falls back to
     the serial loop; exceptions raised by ``fn`` itself propagate
     unchanged in both modes.
+
+    ``on_result(item, result)`` fires as each result lands (in input
+    order) -- the hook incremental checkpointing hangs off.  After a
+    mid-flight pool loss (``BrokenProcessPool``) the surviving work is
+    redone serially and the hook may fire *again* for items that
+    already reported; consumers that persist must deduplicate.
     """
     items = list(items)
+
+    def serial() -> List[R]:
+        results = []
+        for item in items:
+            result = fn(item)
+            if on_result is not None:
+                on_result(item, result)
+            results.append(result)
+        return results
+
     effective = resolve_workers(workers, len(items))
     if effective <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return serial()
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
         pool = ProcessPoolExecutor(max_workers=effective)
     except (ImportError, NotImplementedError, OSError, ValueError):
-        return [fn(item) for item in items]
+        return serial()
     try:
-        return list(pool.map(fn, items))
+        results = []
+        for item, result in zip(items, pool.map(fn, items)):
+            if on_result is not None:
+                on_result(item, result)
+            results.append(result)
+        return results
     except BrokenProcessPool:
         # workers died before producing results (fork denied, OOM kill,
         # ...): the computation is pure, so redo it serially
-        return [fn(item) for item in items]
+        return serial()
     finally:
         pool.shutdown(wait=True)
 

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the measurement pipeline.
+
+The paper's month-long crawl ran against a hostile network: peers
+churned mid-download, served truncated or corrupted bytes, stalled,
+rate-limited and partitioned.  This package reproduces that hostility
+*on demand and deterministically*: a :class:`FaultPlan` declares a
+schedule of fault windows, and the injectors replay it from named
+``SeededStream``s, so identical seeds produce identical fault timelines
+(``EventDigest``-stable) and a campaign's behaviour under stress is as
+reproducible as its behaviour without.
+
+Two injection surfaces:
+
+* :class:`FaultInjector` taps the transport delivery chain (the same
+  tap mechanism ``TransportTrace`` uses) for loss bursts, latency
+  storms, network partitions and peer crash/blackhole;
+* :class:`FetchFaults` rides the downloader's fetch path for
+  slow-serve stalls and payload truncation/corruption.
+
+Pipeline-level chaos (worker crashes in ``run_replications``) is
+declared here too (:class:`WorkerCrash`) but enforced by
+:mod:`repro.core.experiments`.
+"""
+
+from .injectors import FaultInjector, FetchFaults, FetchIntervention
+from .plan import (FaultPlan, InjectedWorkerCrash, LatencyStorm, LossBurst,
+                   Partition, PeerCrash, SlowServe, Tamper, WorkerCrash,
+                   SEVERITIES)
+
+__all__ = [
+    "FaultPlan", "LossBurst", "LatencyStorm", "Partition", "PeerCrash",
+    "SlowServe", "Tamper", "WorkerCrash", "InjectedWorkerCrash",
+    "SEVERITIES", "FaultInjector", "FetchFaults", "FetchIntervention",
+]

@@ -66,6 +66,7 @@ class Blob:
     markers: Tuple[bytes, ...] = ()
     members: Tuple["Blob", ...] = ()
     _urn: Optional[str] = field(default=None, compare=False, repr=False)
+    _md5: Optional[str] = field(default=None, compare=False, repr=False)
     _scan_body: Optional[bytes] = field(default=None, compare=False,
                                         repr=False)
 
@@ -117,8 +118,16 @@ class Blob:
         return self._scan_body
 
     def md5_hex(self) -> str:
-        """Hex MD5 identity (OpenFT's content hash)."""
-        return hashlib.md5(self.canonical_bytes()).hexdigest()
+        """Hex MD5 identity (OpenFT's content hash).
+
+        Cached after the first call, like :meth:`sha1_urn`: the
+        downloader verifies every fetched OpenFT blob against the
+        advertised md5, so repeat downloads must not re-hash.
+        """
+        if self._md5 is None:
+            object.__setattr__(self, "_md5",
+                               hashlib.md5(self.canonical_bytes()).hexdigest())
+        return self._md5
 
     def contains_marker(self, marker: bytes) -> bool:
         """True if this blob or any nested member embeds ``marker``."""

@@ -94,7 +94,14 @@ class ChurnProcess:
     def _schedule(self, delay: float) -> None:
         when = self.sim.now + delay
         if self._until is not None and when > self._until:
-            return
+            # Clamp the final transition to the horizon instead of
+            # dropping it: a session that would have ended past ``until``
+            # ends exactly at ``until``, so ``online`` is never stale
+            # relative to the campaign end (the drain phase sees the
+            # state the horizon left behind, not one frozen mid-session).
+            if self.sim.now >= self._until:
+                return  # the clamped flip already ran at the horizon
+            when = self._until
         self.sim.at(when, self._flip, label="churn")
 
     def _flip(self) -> None:

@@ -17,7 +17,8 @@ from typing import Callable, Dict, Optional
 from .kernel import Simulator
 from .rng import SeededStream
 
-__all__ = ["LatencyModel", "Envelope", "Endpoint", "Transport"]
+__all__ = ["LatencyModel", "Envelope", "Endpoint", "Transport",
+           "DROP_CAUSES"]
 
 
 @dataclass
@@ -61,6 +62,11 @@ class Endpoint:
     sent: int = field(default=0, compare=False)
 
 
+#: Every cause the transport (or a fault injector) can drop a message for.
+DROP_CAUSES = ("offline-sender", "unknown-dst", "random-loss",
+               "offline-recv", "fault-injected")
+
+
 class Transport:
     """Message fabric connecting all endpoints of one simulated overlay."""
 
@@ -74,7 +80,21 @@ class Transport:
         self._endpoints: Dict[str, Endpoint] = {}
         self._stream = sim.stream("transport")
         self.delivered = 0
-        self.dropped = 0
+        #: per-cause drop tally; ``dropped`` sums it (see DROP_CAUSES)
+        self.drop_causes: Dict[str, int] = {cause: 0 for cause in DROP_CAUSES}
+
+    @property
+    def dropped(self) -> int:
+        """Total messages dropped, across all causes."""
+        return sum(self.drop_causes.values())
+
+    def count_drop(self, cause: str) -> None:
+        """Record one dropped message under ``cause``.
+
+        The transport's own paths use the four built-in causes; fault
+        injectors tap in with ``"fault-injected"``.
+        """
+        self.drop_causes[cause] = self.drop_causes.get(cause, 0) + 1
 
     # -- endpoint lifecycle -------------------------------------------------
     def attach(self, endpoint_id: str,
@@ -116,13 +136,13 @@ class Transport:
         """
         sender = self._endpoints.get(src)
         if sender is None or not sender.online:
-            self.dropped += 1
+            self.count_drop("offline-sender")
             return False
         if dst not in self._endpoints:
-            self.dropped += 1
+            self.count_drop("unknown-dst")
             return False
         if self.loss_rate and self._stream.bernoulli(self.loss_rate):
-            self.dropped += 1
+            self.count_drop("random-loss")
             return False
 
         sender.sent += 1
@@ -136,7 +156,7 @@ class Transport:
     def _deliver(self, envelope: Envelope) -> None:
         receiver = self._endpoints.get(envelope.dst)
         if receiver is None or not receiver.online:
-            self.dropped += 1
+            self.count_drop("offline-recv")
             return
         receiver.received += 1
         self.delivered += 1

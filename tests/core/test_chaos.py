@@ -1,0 +1,89 @@
+"""Tests for the R1 fault-envelope sweep logic (no campaigns run)."""
+
+import pytest
+
+from repro.core.chaos import (CLAIM_BANDS, PREVALENCE_GAP_MIN, ChaosReport,
+                              SeverityResult, _check_bands,
+                              run_fault_envelope)
+from repro.core.experiments import MetricSummary, ReplicationReport
+
+
+def report(network, prevalence, top3, degraded=False):
+    values = {"prevalence": prevalence, "top3_share": top3}
+    return ReplicationReport(
+        network=network, seeds=(1,),
+        metrics={name: MetricSummary(name=name, values=(value,))
+                 for name, value in values.items()},
+        completed_seeds=(1,), degraded=degraded)
+
+
+def healthy_reports():
+    return {"limewire": report("limewire", 0.72, 0.99),
+            "openft": report("openft", 0.09, 0.85)}
+
+
+class TestCheckBands:
+    def test_healthy_metrics_pass(self):
+        assert _check_bands("mild", healthy_reports()) == []
+
+    def test_out_of_band_metric_flagged(self):
+        reports = healthy_reports()
+        low, high = CLAIM_BANDS["limewire"]["prevalence"]
+        reports["limewire"] = report("limewire", low - 0.1, 0.99)
+        violations = _check_bands("severe", reports)
+        assert len(violations) == 1
+        assert "severe/limewire: prevalence" in violations[0]
+
+    def test_collapsed_gap_flagged(self):
+        # both arms inside their own bands, but the C1 *gap* is gone
+        reports = {"limewire": report("limewire", 0.55, 0.99),
+                   "openft": report("openft", 0.29, 0.85)}
+        assert 0.55 < PREVALENCE_GAP_MIN * 0.29
+        violations = _check_bands("extreme", reports)
+        assert len(violations) == 1
+        assert "C1 gap collapsed" in violations[0]
+
+    def test_single_network_skips_gap_check(self):
+        reports = {"limewire": report("limewire", 0.72, 0.99)}
+        assert _check_bands("mild", reports) == []
+
+
+class TestChaosReport:
+    def rung(self, severity, violations=(), degraded=False):
+        return SeverityResult(
+            severity=severity,
+            reports={"limewire": report("limewire", 0.72, 0.99,
+                                        degraded=degraded)},
+            violations=tuple(violations))
+
+    def test_all_holding(self):
+        sweep = ChaosReport(results=(self.rung("off"), self.rung("mild")),
+                            seeds=(1,), duration_days=0.25, scale=0.5)
+        assert sweep.ok
+        assert sweep.breaking_point is None
+        assert sweep.envelope == "mild"
+        assert "entire swept envelope" in sweep.render()
+
+    def test_breaking_point_is_first_broken_rung(self):
+        sweep = ChaosReport(
+            results=(self.rung("off"), self.rung("mild"),
+                     self.rung("severe", violations=("boom",))),
+            seeds=(1,), duration_days=0.25, scale=0.5)
+        assert not sweep.ok
+        assert sweep.breaking_point == "severe"
+        assert sweep.envelope == "mild"
+        text = sweep.render()
+        assert "breaking point: severe" in text
+        assert "!! boom" in text
+
+    def test_degraded_rung_flagged_in_render(self):
+        sweep = ChaosReport(results=(self.rung("off", degraded=True),),
+                            seeds=(1,), duration_days=0.25, scale=0.5)
+        assert sweep.results[0].degraded
+        assert "(degraded)" in sweep.render()
+
+
+class TestRunFaultEnvelope:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severities"):
+            run_fault_envelope(severities=("off", "apocalyptic"))

@@ -60,6 +60,46 @@ class TestReplicate:
     def test_rejects_zero_seeds(self, capsys):
         assert main(["replicate", "--seeds", "0"]) == 2
 
+    def test_checkpoint_journal_written_and_reused(self, tmp_path, capsys):
+        journal = tmp_path / "resume.jsonl"
+        args = ["replicate", "--network", "limewire", "--seeds", "1",
+                "--days", "0.1", "--workers", "1",
+                "--checkpoint", str(journal)]
+        assert main(args) == 0
+        assert journal.exists()
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 2  # header + the one completed seed
+        capsys.readouterr()
+        assert main(args) == 0  # resume: nothing recomputed...
+        assert len(journal.read_text().splitlines()) == 2  # ...or re-logged
+        assert "prevalence" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.network == "both"
+        assert args.severities is None  # all rungs
+        assert args.seeds == 3
+        assert args.days == 0.25
+        assert args.scale == 0.5
+        assert not args.quick
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--severities",
+                                       "apocalyptic"])
+
+    def test_sweep_prints_envelope_table(self, capsys):
+        code = main(["chaos", "--network", "limewire",
+                     "--severities", "off", "mild", "--seeds", "1",
+                     "--days", "0.05", "--scale", "0.3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "R1 fault envelope" in output
+        assert "hold" in output
+        assert "claims hold across the entire swept envelope" in output
+
 
 class TestAnalyze:
     def test_all_tables(self, saved_store, capsys):

@@ -1,13 +1,16 @@
-"""Tests for the downloader."""
+"""Tests for the downloader, including retry/outcome accounting."""
 
 import pytest
 
 from repro.core.measure.download import Downloader, DownloadPolicy
+from repro.faults.injectors import FetchIntervention
 from repro.files.payload import Blob
 from repro.malware.corpus import limewire_strains
 from repro.malware.infection import strain_body_blob
 from repro.scanner.database import database_for_strains
 from repro.scanner.engine import ScanEngine
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.spans import SpanTracer
 
 from .conftest import make_record
 
@@ -15,6 +18,25 @@ from .conftest import make_record
 @pytest.fixture()
 def engine():
     return ScanEngine(database_for_strains(limewire_strains()))
+
+
+class _ScriptedFaults:
+    """FetchFaults stand-in replaying a fixed intervention sequence."""
+
+    def __init__(self, *interventions):
+        self._interventions = list(interventions)
+        self.calls = 0
+
+    def on_fetch(self, record, attempt):
+        self.calls += 1
+        if self._interventions:
+            return self._interventions.pop(0)
+        return None
+
+
+def _outcome_count(registry, outcome):
+    counter = registry.get("downloader_attempts_total")
+    return counter.labels(outcome).value if counter is not None else 0
 
 
 class TestPolicy:
@@ -25,25 +47,46 @@ class TestPolicy:
             DownloadPolicy(delay_min_s=10.0, delay_max_s=1.0)
         with pytest.raises(ValueError):
             DownloadPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            DownloadPolicy(attempt_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            DownloadPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            DownloadPolicy(retry_gap_s=100.0, max_retry_gap_s=50.0)
+
+    def test_retry_gap_backoff_and_cap(self):
+        policy = DownloadPolicy(retry_gap_s=100.0, backoff_factor=2.0,
+                                max_retry_gap_s=300.0)
+        assert policy.retry_gap(0) == 100.0
+        assert policy.retry_gap(1) == 200.0
+        assert policy.retry_gap(2) == 300.0  # capped, not 400
+        # the default factor of 1.0 reproduces the flat historical gap
+        flat = DownloadPolicy()
+        assert flat.retry_gap(0) == flat.retry_gap_s
+        assert flat.retry_gap(5) == flat.retry_gap_s
 
 
 class TestDownloader:
     def test_successful_download_and_clean_scan(self, sim, engine):
         downloader = Downloader(sim, engine)
-        record = make_record(downloaded=False)
-        record.download_attempted = False
         blob = Blob(content_key="clean", extension="exe", size=1000)
+        record = make_record(downloaded=False,
+                             content_id=blob.sha1_urn())
+        record.download_attempted = False
         downloader.enqueue(record, lambda: blob)
         sim.run_until(300.0)
         assert record.download_attempted
         assert record.downloaded
+        assert record.download_outcome == "success"
         assert record.malware_name is None
 
     def test_malware_scan_annotates(self, sim, engine):
         downloader = Downloader(sim, engine)
         strain = limewire_strains()[0]
-        record = make_record(downloaded=False)
-        downloader.enqueue(record, lambda: strain_body_blob(strain))
+        blob = strain_body_blob(strain)
+        record = make_record(downloaded=False,
+                             content_id=blob.sha1_urn())
+        downloader.enqueue(record, lambda: blob)
         sim.run_until(300.0)
         assert record.malware_name == strain.av_name
 
@@ -55,6 +98,7 @@ class TestDownloader:
         sim.run_until(10_000.0)
         assert record.download_attempted
         assert not record.downloaded
+        assert record.download_outcome == "offline"
 
     def test_retry_succeeds_later(self, sim, engine):
         downloader = Downloader(
@@ -66,11 +110,13 @@ class TestDownloader:
             attempts.append(sim.now)
             return blob if len(attempts) > 1 else None
 
-        record = make_record(downloaded=False)
+        record = make_record(downloaded=False,
+                             content_id=blob.sha1_urn())
         downloader.enqueue(record, flaky_fetch)
         sim.run_until(10_000.0)
         assert len(attempts) == 2
         assert record.downloaded
+        assert record.download_outcome == "success"
 
     def test_retries_bounded(self, sim, engine):
         downloader = Downloader(
@@ -84,6 +130,24 @@ class TestDownloader:
         downloader.enqueue(make_record(downloaded=False), always_fail)
         sim.run_until(10_000.0)
         assert len(attempts) == 3  # initial + 2 retries
+
+    def test_backoff_spaces_retries(self, sim, engine):
+        downloader = Downloader(
+            sim, engine,
+            DownloadPolicy(delay_min_s=0.0, delay_max_s=0.0, retries=3,
+                           retry_gap_s=100.0, backoff_factor=2.0,
+                           max_retry_gap_s=300.0))
+        attempts = []
+
+        def always_fail():
+            attempts.append(sim.now)
+            return None
+
+        downloader.enqueue(make_record(downloaded=False), always_fail)
+        sim.run_until(10_000.0)
+        gaps = [later - earlier
+                for earlier, later in zip(attempts, attempts[1:])]
+        assert gaps == [100.0, 200.0, 300.0]  # doubled, then capped
 
     def test_verdict_cache_scans_once_per_content(self, sim, engine):
         downloader = Downloader(sim, engine)
@@ -105,6 +169,201 @@ class TestDownloader:
             fetched_at.append(sim.now)
             return blob
 
-        downloader.enqueue(make_record(downloaded=False), fetch)
+        downloader.enqueue(make_record(downloaded=False, content_id="u:t"),
+                           fetch)
         sim.run_until(1_000.0)
         assert 50.0 <= fetched_at[0] <= 60.0
+
+
+class TestIntegrityVerification:
+    def test_md5_content_id_accepted(self, sim, engine):
+        downloader = Downloader(sim, engine, DownloadPolicy(retries=0))
+        blob = Blob(content_key="ft", extension="exe", size=640)
+        record = make_record(network="openft", downloaded=False,
+                             content_id=blob.md5_hex())
+        downloader.enqueue(record, lambda: blob)
+        sim.run_until(1_000.0)
+        assert record.downloaded
+
+    def test_unknown_scheme_skips_verification(self, sim, engine):
+        downloader = Downloader(sim, engine, DownloadPolicy(retries=0))
+        blob = Blob(content_key="any", extension="exe", size=10)
+        record = make_record(downloaded=False, content_id="u:opaque")
+        downloader.enqueue(record, lambda: blob)
+        sim.run_until(1_000.0)
+        assert record.downloaded
+
+    def test_hash_mismatch_never_scanned(self, sim, engine):
+        downloader = Downloader(sim, engine, DownloadPolicy(retries=0))
+        advertised = Blob(content_key="real", extension="exe", size=1000)
+        served = Blob(content_key="swapped", extension="exe", size=1000)
+        record = make_record(downloaded=False, size=1000,
+                             content_id=advertised.sha1_urn())
+        downloader.enqueue(record, lambda: served)
+        sim.run_until(1_000.0)
+        assert not record.downloaded
+        assert record.download_outcome == "corrupt"
+        assert record.malware_name is None
+        assert engine.scans_performed == 0  # bad bytes never reach the AV
+
+    def test_short_mismatch_reads_as_truncated(self, sim, engine):
+        downloader = Downloader(sim, engine, DownloadPolicy(retries=0))
+        advertised = Blob(content_key="real", extension="exe", size=1000)
+        served = Blob(content_key="real#cut", extension="exe", size=300)
+        record = make_record(downloaded=False, size=1000,
+                             content_id=advertised.sha1_urn())
+        downloader.enqueue(record, lambda: served)
+        sim.run_until(1_000.0)
+        assert record.download_outcome == "truncated"
+
+
+class TestFaultedAttempts:
+    def test_tampered_blob_labelled_corrupt(self, sim, engine):
+        faults = _ScriptedFaults(FetchIntervention(tamper="corrupt"))
+        downloader = Downloader(sim, engine, DownloadPolicy(retries=0),
+                                faults=faults)
+        blob = Blob(content_key="ok", extension="exe", size=1000)
+        record = make_record(downloaded=False, size=1000,
+                             content_id=blob.sha1_urn())
+        downloader.enqueue(record, lambda: blob)
+        sim.run_until(1_000.0)
+        assert record.download_outcome == "corrupt"
+        assert not record.downloaded
+
+    def test_truncated_blob_labelled_truncated(self, sim, engine):
+        faults = _ScriptedFaults(FetchIntervention(tamper="truncate"))
+        downloader = Downloader(sim, engine, DownloadPolicy(retries=0),
+                                faults=faults)
+        blob = Blob(content_key="ok", extension="exe", size=1000)
+        record = make_record(downloaded=False, size=1000,
+                             content_id=blob.sha1_urn())
+        downloader.enqueue(record, lambda: blob)
+        sim.run_until(1_000.0)
+        assert record.download_outcome == "truncated"
+
+    def test_stall_past_timeout_is_timeout(self, sim, engine):
+        faults = _ScriptedFaults(FetchIntervention(stall_s=5_000.0))
+        downloader = Downloader(
+            sim, engine,
+            DownloadPolicy(delay_min_s=0.0, delay_max_s=0.0, retries=0,
+                           attempt_timeout_s=600.0),
+            faults=faults)
+        fetches = []
+        record = make_record(downloaded=False)
+        downloader.enqueue(record, lambda: fetches.append(1))
+        sim.run_until(10_000.0)
+        assert record.download_outcome == "timeout"
+        assert fetches == []  # the bytes never arrived
+
+    def test_survivable_stall_delays_success(self, sim, engine):
+        faults = _ScriptedFaults(FetchIntervention(stall_s=50.0))
+        downloader = Downloader(
+            sim, engine,
+            DownloadPolicy(delay_min_s=0.0, delay_max_s=0.0, retries=0),
+            faults=faults)
+        blob = Blob(content_key="slow", extension="exe", size=10)
+        fetched_at = []
+
+        def fetch():
+            fetched_at.append(sim.now)
+            return blob
+
+        record = make_record(downloaded=False,
+                             content_id=blob.sha1_urn())
+        downloader.enqueue(record, fetch)
+        sim.run_until(1_000.0)
+        assert record.downloaded
+        assert fetched_at == [50.0]
+
+    def test_tamper_retry_then_clean_success(self, sim, engine):
+        faults = _ScriptedFaults(FetchIntervention(tamper="corrupt"))
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(retries=1, retry_gap_s=100.0),
+            faults=faults)
+        blob = Blob(content_key="flaky", extension="exe", size=10)
+        record = make_record(downloaded=False,
+                             content_id=blob.sha1_urn())
+        downloader.enqueue(record, lambda: blob)
+        sim.run_until(10_000.0)
+        assert record.downloaded
+        assert record.download_outcome == "success"
+        assert faults.calls == 2
+
+
+class TestRetryAccounting:
+    def test_retry_then_success_counters(self, sim, engine):
+        registry = MetricRegistry()
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(retries=1, retry_gap_s=100.0),
+            registry=registry)
+        blob = Blob(content_key="x", extension="exe", size=1)
+        state = {"calls": 0}
+
+        def flaky_fetch():
+            state["calls"] += 1
+            return blob if state["calls"] > 1 else None
+
+        record = make_record(downloaded=False,
+                             content_id=blob.sha1_urn())
+        downloader.enqueue(record, flaky_fetch)
+        sim.run_until(10_000.0)
+        assert downloader.attempts == 2
+        assert downloader.successes == 1
+        assert _outcome_count(registry, "retry") == 1
+        assert _outcome_count(registry, "success") == 1
+        assert registry.get("downloader_in_flight").value == 0
+
+    def test_retry_then_offline_counters(self, sim, engine):
+        registry = MetricRegistry()
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(retries=2, retry_gap_s=10.0),
+            registry=registry)
+        downloader.enqueue(make_record(downloaded=False), lambda: None,)
+        sim.run_until(10_000.0)
+        assert _outcome_count(registry, "retry") == 2
+        assert _outcome_count(registry, "offline") == 1
+        assert registry.get("downloader_in_flight").value == 0
+
+    def test_faulted_outcomes_counted_and_drained(self, sim, engine):
+        registry = MetricRegistry()
+        faults = _ScriptedFaults(FetchIntervention(tamper="corrupt"),
+                                 FetchIntervention(tamper="truncate"),
+                                 FetchIntervention(stall_s=9_999.0))
+        downloader = Downloader(
+            sim, engine,
+            DownloadPolicy(delay_min_s=0.0, delay_max_s=0.0, retries=0,
+                           attempt_timeout_s=600.0),
+            registry=registry, faults=faults)
+        blob = Blob(content_key="y", extension="exe", size=100)
+        for _ in range(3):
+            record = make_record(downloaded=False, size=100,
+                                 content_id=blob.sha1_urn())
+            downloader.enqueue(record, lambda: blob)
+        sim.run_until(50_000.0)
+        assert _outcome_count(registry, "corrupt") == 1
+        assert _outcome_count(registry, "truncated") == 1
+        assert _outcome_count(registry, "timeout") == 1
+        assert registry.get("downloader_in_flight").value == 0
+
+    def test_span_outcomes_across_retry(self, sim, engine):
+        tracer = SpanTracer()
+        downloader = Downloader(
+            sim, engine, DownloadPolicy(retries=1, retry_gap_s=100.0),
+            tracer=tracer)
+        blob = Blob(content_key="s", extension="exe", size=1)
+        state = {"calls": 0}
+
+        def flaky_fetch():
+            state["calls"] += 1
+            return blob if state["calls"] > 1 else None
+
+        ok = make_record(downloaded=False, content_id=blob.sha1_urn())
+        downloader.enqueue(ok, flaky_fetch)
+        gone = make_record(downloaded=False)
+        downloader.enqueue(gone, lambda: None)
+        sim.run_until(50_000.0)
+        outcomes = sorted(span.attributes["outcome"]
+                          for span in tracer.spans("download"))
+        assert outcomes == ["offline", "success"]
+        for span in tracer.spans("download"):
+            assert span.finished

@@ -1,11 +1,27 @@
 """Tests for the multi-seed experiment runner."""
 
+import json
+
 import pytest
 
 from repro.core.experiments import (HEADLINE_METRICS, MetricSummary,
                                     run_replications)
 from repro.core.measure.campaign import CampaignConfig
+from repro.faults import FaultPlan, WorkerCrash
 from repro.peers.profiles import GnutellaProfile
+
+#: tiny-but-real campaign shape shared by the self-healing tests
+TINY = dict(duration_days=0.05)
+TINY_PROFILE = GnutellaProfile().scaled(0.3)
+
+
+def tiny_config(**kwargs):
+    return CampaignConfig(seed=0, **TINY, **kwargs)
+
+
+def crash_plan(seeds, attempts=1):
+    return FaultPlan(worker_crash=WorkerCrash(seeds=tuple(seeds),
+                                              attempts=attempts))
 
 
 class TestMetricSummary:
@@ -49,3 +65,115 @@ class TestRunReplications:
         with pytest.raises(ValueError):
             run_replications("kazaa", seeds=(1,),
                              config=CampaignConfig())
+
+
+class TestSelfHealing:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_replications("limewire", seeds=(1, 2),
+                                config=tiny_config(),
+                                profile=TINY_PROFILE)
+
+    def test_crashed_worker_heals_on_retry(self, baseline):
+        report = run_replications(
+            "limewire", seeds=(1, 2),
+            config=tiny_config(fault_plan=crash_plan([2])),
+            profile=TINY_PROFILE)
+        assert not report.degraded
+        assert report.failures == ()
+        assert report.completed_seeds == (1, 2)
+        # the retry reruns the same pure function: metrics identical
+        for name, summary in baseline.metrics.items():
+            assert report.metrics[name].values == summary.values
+
+    def test_crashing_the_retry_quarantines_the_seed(self, baseline):
+        report = run_replications(
+            "limewire", seeds=(1, 2),
+            config=tiny_config(fault_plan=crash_plan([2], attempts=2)),
+            profile=TINY_PROFILE)
+        assert report.degraded
+        assert report.completed_seeds == (1,)
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.seed == 2
+        assert failure.attempts == 2
+        assert "injected worker crash" in failure.error
+        # surviving seed's metrics are untouched by the quarantine
+        for name, summary in baseline.metrics.items():
+            assert report.metrics[name].values == (summary.values[0],)
+
+    def test_degraded_report_renders_the_quarantine(self):
+        report = run_replications(
+            "limewire", seeds=(1, 2),
+            config=tiny_config(fault_plan=crash_plan([2], attempts=2)),
+            profile=TINY_PROFILE)
+        text = report.render()
+        assert "DEGRADED" in text
+        assert "[2]" in text
+
+    def test_every_seed_dying_raises(self):
+        with pytest.raises(RuntimeError, match="every replication seed"):
+            run_replications(
+                "limewire", seeds=(1,),
+                config=tiny_config(fault_plan=crash_plan([1], attempts=2)),
+                profile=TINY_PROFILE)
+
+
+class TestCheckpoint:
+    def test_resume_completes_interrupted_run(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        uninterrupted = run_replications("limewire", seeds=(1, 2),
+                                         config=tiny_config(),
+                                         profile=TINY_PROFILE)
+        # "interrupt": seed 2's worker dies twice, so only seed 1 lands
+        degraded = run_replications(
+            "limewire", seeds=(1, 2),
+            config=tiny_config(fault_plan=crash_plan([2], attempts=2)),
+            profile=TINY_PROFILE, checkpoint=journal)
+        assert degraded.completed_seeds == (1,)
+        # resume without the chaos: seed 1 read from the journal, seed 2
+        # computed fresh -- the merged report matches an uninterrupted run
+        resumed = run_replications("limewire", seeds=(1, 2),
+                                   config=tiny_config(),
+                                   profile=TINY_PROFILE,
+                                   checkpoint=journal)
+        assert not resumed.degraded
+        assert resumed.completed_seeds == (1, 2)
+        for name, summary in uninterrupted.metrics.items():
+            assert resumed.metrics[name].values == summary.values
+
+    def test_completed_seeds_are_not_recomputed(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        run_replications("limewire", seeds=(1,), config=tiny_config(),
+                         profile=TINY_PROFILE, checkpoint=journal)
+        entries = [json.loads(line) for line in
+                   journal.read_text().splitlines()]
+        assert entries[0]["kind"] == "header"
+        assert [e["seed"] for e in entries[1:]] == [1]
+        # poison the recorded metrics: if the resume recomputed seed 1
+        # the report would disagree with the journal
+        entries[1]["metrics"] = {name: 0.123 for name
+                                 in entries[1]["metrics"]}
+        journal.write_text("\n".join(json.dumps(e) for e in entries) + "\n")
+        report = run_replications("limewire", seeds=(1,),
+                                  config=tiny_config(),
+                                  profile=TINY_PROFILE, checkpoint=journal)
+        assert all(summary.values == (0.123,)
+                   for summary in report.metrics.values())
+
+    def test_config_change_invalidates_checkpoint(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        run_replications("limewire", seeds=(1,), config=tiny_config(),
+                         profile=TINY_PROFILE, checkpoint=journal)
+        with pytest.raises(ValueError, match="different experiment"):
+            run_replications(
+                "limewire", seeds=(1,),
+                config=CampaignConfig(seed=0, duration_days=0.1),
+                profile=TINY_PROFILE, checkpoint=journal)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a replication"):
+            run_replications("limewire", seeds=(1,), config=tiny_config(),
+                             profile=TINY_PROFILE, checkpoint=bogus)

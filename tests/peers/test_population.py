@@ -8,7 +8,7 @@ from repro.peers.population import (build_gnutella_world,
                                     proportioned_choices,
                                     proportioned_flags)
 from repro.peers.profiles import GnutellaProfile, OpenFTProfile
-from repro.simnet.clock import days
+from repro.simnet.clock import days, hours
 from repro.simnet.kernel import Simulator
 
 
@@ -96,12 +96,19 @@ class TestOpenFTWorld:
     def test_dedicated_host_always_online(self, small_openft):
         sim, _, world = small_openft
         dedicated = world.infected_endpoints("ft-share-a")[0]
-        sim.run_until(days(2))
+        # probe strictly inside the campaign window: churn clamps every
+        # straddling session to end exactly at the horizon, so at
+        # days(2) itself even the always-on host's session has closed
+        sim.run_until(days(2) - hours(1))
         assert world.network.nodes[dedicated].is_online()
 
     def test_users_adopted_after_drain(self, small_openft):
         sim, _, world = small_openft
-        sim.run_until(days(2))
+        # same inside-the-window probe: a user whose session flips up
+        # exactly at the clamped horizon sheds stale parents and
+        # re-requests adoption, but the handshake cannot complete with
+        # no sim time left
+        sim.run_until(days(2) - hours(1))
         adopted = sum(1 for node in world.network.user_nodes
                       if node.parent_ids)
         assert adopted > 0.8 * len(world.network.user_nodes)

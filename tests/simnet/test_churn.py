@@ -76,3 +76,37 @@ class TestChurnProcess:
         transitions_at_cutoff = process.transitions
         sim.run_until(days(10))
         assert process.transitions == transitions_at_cutoff
+
+    def test_final_transition_clamped_to_horizon_not_dropped(self, sim):
+        # regression: a transition drawn past ``until`` used to be
+        # discarded, freezing ``online`` mid-session -- the drain phase
+        # then saw a state the horizon never actually produced.  The
+        # clamp moves that flip to exactly ``until`` instead.
+        profile = ChurnProfile(mean_session_s=hours(1000),
+                               mean_offline_s=hours(1),
+                               initial_online_probability=1.0)
+        flips = []
+        process = ChurnProcess(sim, sim.stream("c"), profile,
+                               on_up=lambda: None,
+                               on_down=lambda: flips.append(sim.now),
+                               until=hours(5))
+        process.start()
+        sim.run_until(days(1))
+        # the ~1000h session could not end inside the horizon, so the
+        # flip ran at the horizon itself, leaving the state fresh
+        assert flips == [hours(5)]
+        assert process.transitions == 1
+        assert not process.online
+
+    def test_no_transitions_scheduled_past_the_clamp(self, sim):
+        profile = ChurnProfile(mean_session_s=hours(1000),
+                               mean_offline_s=hours(1000),
+                               initial_online_probability=1.0)
+        process = ChurnProcess(sim, sim.stream("c"), profile,
+                               on_up=lambda: None, on_down=lambda: None,
+                               until=hours(5))
+        process.start()
+        sim.run_until(days(30))
+        # exactly the one clamped flip; the re-schedule at the horizon
+        # returns instead of queueing another event
+        assert process.transitions == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simnet.rng import SeededStream
-from repro.simnet.transport import LatencyModel, Transport
+from repro.simnet.transport import DROP_CAUSES, LatencyModel, Transport
 
 
 def make_pair(sim, loss_rate=0.0):
@@ -69,6 +69,55 @@ class TestDelivery:
     def test_is_online_for_unknown_endpoint(self, sim):
         transport, _, _ = make_pair(sim)
         assert not transport.is_online("ghost")
+
+
+class TestDropCauses:
+    def test_all_causes_start_at_zero(self, sim):
+        transport, _, _ = make_pair(sim)
+        assert set(transport.drop_causes) == set(DROP_CAUSES)
+        assert transport.dropped == 0
+
+    def test_offline_sender_labelled(self, sim):
+        transport, _, _ = make_pair(sim)
+        transport.set_online("a", False)
+        transport.send("a", "b", b"x")
+        assert transport.drop_causes["offline-sender"] == 1
+
+    def test_unknown_destination_labelled(self, sim):
+        transport, _, _ = make_pair(sim)
+        transport.send("a", "nobody", b"x")
+        assert transport.drop_causes["unknown-dst"] == 1
+
+    def test_random_loss_labelled(self, sim):
+        transport, _, _ = make_pair(sim, loss_rate=0.5)
+        for _ in range(100):
+            transport.send("a", "b", b"x")
+        assert transport.drop_causes["random-loss"] > 0
+        assert (transport.drop_causes["random-loss"]
+                == transport.dropped)
+
+    def test_offline_receiver_labelled(self, sim):
+        transport, _, _ = make_pair(sim)
+        transport.send("a", "b", b"x")
+        transport.set_online("b", False)
+        sim.run_until(10.0)
+        assert transport.drop_causes["offline-recv"] == 1
+
+    def test_dropped_sums_every_cause(self, sim):
+        transport, _, _ = make_pair(sim)
+        transport.send("a", "nobody", b"x")     # unknown-dst
+        transport.set_online("a", False)
+        transport.send("a", "b", b"x")          # offline-sender
+        transport.count_drop("fault-injected")  # injector tap-in
+        assert transport.dropped == 3
+        assert transport.drop_causes["fault-injected"] == 1
+
+    def test_count_drop_accepts_new_causes(self, sim):
+        # injectors may tag causes the built-in tuple does not list
+        transport, _, _ = make_pair(sim)
+        transport.count_drop("experimental")
+        assert transport.drop_causes["experimental"] == 1
+        assert transport.dropped == 1
 
 
 class TestLoss:
