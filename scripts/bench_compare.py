@@ -35,6 +35,9 @@ DIRECTIONS = {
     "events_per_sec": True,
     "events_per_sec_telemetry": True,
     "telemetry_overhead_pct": False,
+    "dataplane_msgs_per_sec": True,
+    "dataplane_frame_cache_hit_rate": True,
+    "dataplane_envelope_bytes_per_msg": False,
     "scans_per_sec": True,
     "cache_hit_rate": True,
     "chaos_off_s": False,

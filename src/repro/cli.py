@@ -183,6 +183,27 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument("--no-sanitize", action="store_true",
                            help="compare digests without arming the "
                                 "entropy sanitizer")
+    selfcheck.add_argument("--equivalence", action="store_true",
+                           help="additionally re-run every seed on the "
+                                "reference (slow) data plane and demand "
+                                "identical event digests, store sha256 "
+                                "and headline metrics")
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run one campaign under cProfile and print the top "
+             "cumulative hotspots")
+    profile.add_argument("network", choices=("limewire", "openft"))
+    profile.add_argument("--days", type=float, default=0.1,
+                         help="virtual days to simulate")
+    profile.add_argument("--seed", type=int, default=2)
+    profile.add_argument("--scale", type=float, default=0.35,
+                         help="population scale factor")
+    profile.add_argument("--top", type=int, default=25,
+                         help="hotspot rows to print")
+    profile.add_argument("--out", type=Path, default=None,
+                         help="also dump the raw pstats data here "
+                              "(loadable with pstats.Stats)")
 
     filter_eval = subparsers.add_parser(
         "filter-eval",
@@ -325,7 +346,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
-    from .devtools.selfcheck import run_selfcheck
+    from .devtools.selfcheck import run_equivalence_check, run_selfcheck
 
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
@@ -338,7 +359,55 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
                            days=args.days, scale=args.scale,
                            sanitize=not args.no_sanitize)
     print(report.render())
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.equivalence:
+        print("\nfast-path vs reference-path equivalence:")
+        for seed in seeds:
+            check = run_equivalence_check(
+                network=args.network, seed=seed, days=args.days,
+                scale=args.scale, sanitize=not args.no_sanitize)
+            print(check.render())
+            ok = ok and check.ok
+    return 0 if ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from .core.measure.campaign import default_profile
+
+    if args.network == "limewire":
+        runner = run_limewire_campaign
+    else:
+        runner = run_openft_campaign
+    population = default_profile(args.network, args.scale)
+    config = CampaignConfig(seed=args.seed, duration_days=args.days)
+    print(f"profiling {args.network} campaign ({args.days:g} virtual "
+          f"days, seed {args.seed}, scale {args.scale:g})...")
+    profiler = cProfile.Profile()
+    result = profiler.runcall(runner, config, profile=population)
+    print(f"  {len(result.store)} responses collected\n")
+    stats = pstats.Stats(profiler)
+    rows = []
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        rows.append((cumtime, tottime, ncalls,
+                     pstats.func_std_string(func)))
+    # primary key: cumulative time, descending.  Ties (and there are
+    # many at 0.000) break on the qualified function name so the
+    # listing is stable run to run.
+    rows.sort(key=lambda row: (-row[0], row[3]))
+    total = sum(row[1] for row in rows)
+    print(f"{'cumtime':>10} {'tottime':>10} {'ncalls':>10}  function "
+          f"(total {total:.3f}s, top {args.top} by cumulative time)")
+    for cumtime, tottime, ncalls, name in rows[:args.top]:
+        print(f"{cumtime:>10.4f} {tottime:>10.4f} {ncalls:>10d}  {name}")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        stats.dump_stats(str(args.out))
+        print(f"\nraw pstats dump -> {args.out}")
+    return 0
 
 
 def _render(store: MeasurementStore, table: str, days: float) -> str:
@@ -437,7 +506,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": _cmd_run, "analyze": _cmd_analyze,
                 "replicate": _cmd_replicate, "chaos": _cmd_chaos,
                 "filter-eval": _cmd_filter_eval, "export": _cmd_export,
-                "telemetry": _cmd_telemetry,
+                "telemetry": _cmd_telemetry, "profile": _cmd_profile,
                 "lint": _cmd_lint, "selfcheck": _cmd_selfcheck}
     return handlers[args.command](args)
 

@@ -27,8 +27,23 @@ from .download import Downloader, DownloadPolicy
 from .queries import QueryWorkload
 from .store import MeasurementStore
 
-__all__ = ["CampaignConfig", "CampaignResult", "run_limewire_campaign",
-           "run_openft_campaign"]
+__all__ = ["CampaignConfig", "CampaignResult", "default_profile",
+           "run_limewire_campaign", "run_openft_campaign"]
+
+
+def default_profile(network: str, scale: float = 1.0):
+    """The stock population profile for ``network``, optionally scaled.
+
+    Lets callers above the ``peers`` layer (the CLI, devtools) pick a
+    population by network name without importing ``peers`` themselves.
+    """
+    if network == "limewire":
+        profile = GnutellaProfile()
+    elif network == "openft":
+        profile = OpenFTProfile()
+    else:
+        raise ValueError(f"unknown network {network!r}")
+    return profile.scaled(scale) if scale != 1.0 else profile
 
 
 @dataclass(frozen=True)

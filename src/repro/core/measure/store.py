@@ -81,6 +81,24 @@ class MeasurementStore:
             days.setdefault(record.day, []).append(record)
         return days
 
+    def content_digest(self) -> str:
+        """sha256 over the store's serialized form, without touching disk.
+
+        Hashes exactly the bytes :meth:`save` would write, so two stores
+        with the same digest persist identically -- the equivalence
+        harness uses this to prove the data-plane fast path collects
+        bit-identical measurements.
+        """
+        import hashlib
+
+        hasher = hashlib.sha256()
+        header = (f'{{"store_network":"{self.network}",'
+                  f'"queries_issued":{self.queries_issued}}}')
+        hasher.update(header.encode("utf-8") + b"\n")
+        for record in self._records:
+            hasher.update(record.to_json().encode("utf-8") + b"\n")
+        return hasher.hexdigest()
+
     # -- persistence ------------------------------------------------------
     def save(self, path: Path) -> int:
         """Write JSON-lines (first line is a header); returns record count."""

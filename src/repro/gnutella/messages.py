@@ -30,7 +30,13 @@ from .guid import GUID_LENGTH
 
 __all__ = ["MessageError", "Header", "Ping", "Pong", "Bye", "Query",
            "HitResult", "QueryHit", "Push", "frame", "parse_frame",
-           "decode_payload"]
+           "parse_header", "patch_ttl_hops", "decode_payload",
+           "FrameCache", "TTL_OFFSET", "HOPS_OFFSET"]
+
+#: Byte offsets of the mutable header fields: GUID(16) | type(1) puts
+#: TTL at 17 and hops at 18 (see :class:`Header`).
+TTL_OFFSET = GUID_LENGTH + 1
+HOPS_OFFSET = GUID_LENGTH + 2
 
 
 class MessageError(ValueError):
@@ -361,6 +367,96 @@ def parse_frame(raw: bytes) -> Tuple[Header, bytes]:
             f"payload length mismatch: header says {header.payload_length}, "
             f"got {len(payload)}")
     return header, payload
+
+
+def parse_header(raw: bytes) -> Header:
+    """Decode and validate the header without slicing the payload off.
+
+    Applies every check :func:`parse_frame` applies -- including the
+    declared-vs-actual payload length -- but leaves the payload bytes in
+    place, so lazy receivers (forwarders that never look at the body)
+    skip the copy.  A frame accepted here is exactly a frame
+    :func:`parse_frame` would accept.
+    """
+    header = Header.decode(raw)
+    if len(raw) - HEADER_LENGTH != header.payload_length:
+        raise MessageError(
+            f"payload length mismatch: header says {header.payload_length}, "
+            f"got {len(raw) - HEADER_LENGTH}")
+    return header
+
+
+def patch_ttl_hops(raw: bytes, ttl: int, hops: int) -> bytes:
+    """Re-stamp a frame's TTL and hops without re-encoding the body.
+
+    The descriptor header is fixed-layout (GUID | type | TTL | hops |
+    length) and a forwarded descriptor differs from the received one in
+    exactly those two bytes, so splicing them produces the same bytes
+    :func:`frame` would -- the encode-once contract the fast path rests
+    on (asserted in tests against a decode/re-encode reference).
+    """
+    return raw[:TTL_OFFSET] + bytes((ttl, hops)) + raw[HOPS_OFFSET + 1:]
+
+
+class FrameCache:
+    """Per-servent memo of encoded frames, keyed by descriptor GUID.
+
+    A servent that fans the same descriptor out -- originating to every
+    ultrapeer, probing the mesh round after round in a dynamic query --
+    used to call :func:`frame` (a full body re-encode) once per
+    recipient.  The cache keeps the last encoded body per GUID and
+    re-stamps only ttl/hops on reuse.  Reuse demands the *same message
+    object* (checked by identity, which is deterministic and never
+    hashes large payloads); a different message under a reused GUID
+    simply overwrites the entry.
+
+    ``hits``/``misses`` feed the ``bench_dataplane`` leg and make
+    fan-out savings observable in tests.
+    """
+
+    __slots__ = ("_entries", "capacity", "hits", "misses")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        #: guid -> (message object, encoded frame bytes)
+        self._entries: dict = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`frame` calls served without re-encoding."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def frame(self, guid: bytes, message, ttl: int, hops: int = 0) -> bytes:
+        """Encoded wire bytes for ``message``, body encoded at most once.
+
+        Byte-identical to ``frame(guid, message, ttl, hops)`` for any
+        (guid, message) pair, cached or not.
+        """
+        entry = self._entries.get(guid)
+        if entry is not None and entry[0] is message:
+            self.hits += 1
+            cached = entry[1]
+            if cached[TTL_OFFSET] == ttl and cached[HOPS_OFFSET] == hops:
+                return cached
+            return patch_ttl_hops(cached, ttl, hops)
+        self.misses += 1
+        encoded = frame(guid, message, ttl=ttl, hops=hops)
+        entries = self._entries
+        if guid not in entries and len(entries) >= self.capacity:
+            # FIFO eviction: dict preserves insertion order, so the
+            # oldest GUID -- the one least likely to fan out again --
+            # goes first, deterministically
+            del entries[next(iter(entries))]
+        entries[guid] = (message, encoded)
+        return encoded
 
 
 def decode_payload(header: Header, payload: bytes):

@@ -20,16 +20,20 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..files.library import SharedFile, SharedLibrary
 from ..malware.infection import HostInfection
+from ..simnet import fastpath
 from ..simnet.addresses import HostAddress
 from ..simnet.kernel import Simulator
 from ..simnet.rng import SeededStream
 from ..simnet.transport import Envelope, Transport
-from .constants import (DEFAULT_PORT, DEFAULT_TTL, MAX_RESULTS_PER_HIT,
+from .constants import (DEFAULT_PORT, DEFAULT_TTL, DESCRIPTOR_BYE,
+                        DESCRIPTOR_PING, DESCRIPTOR_PONG, DESCRIPTOR_PUSH,
+                        DESCRIPTOR_QUERY, DESCRIPTOR_QUERY_HIT,
+                        HEADER_LENGTH, MAX_RESULTS_PER_HIT,
                         QHD_VENDOR_LIMEWIRE)
-from .guid import new_guid
-from .messages import (Bye, Header, HitResult, MessageError, Ping, Pong,
-                       Push, Query, QueryHit, decode_payload, frame,
-                       parse_frame)
+from .guid import GUID_LENGTH, new_guid
+from .messages import (Bye, FrameCache, Header, HitResult, MessageError,
+                       Ping, Pong, Push, Query, QueryHit, decode_payload,
+                       frame, parse_frame, parse_header, patch_ttl_hops)
 from .qrp import QueryRouteTable
 
 __all__ = ["ServentStats", "GnutellaServent"]
@@ -94,6 +98,11 @@ class GnutellaServent:
         self.stats = ServentStats()
         #: live dynamic-query controllers: guid -> state dict
         self._dynamic_states: Dict[bytes, Dict[str, object]] = {}
+        #: encode-once memo for descriptors this servent fans out
+        self.frame_cache = FrameCache()
+        #: sampled at construction (see simnet.fastpath): True selects
+        #: the decode-everything / encode-per-hop reference handlers
+        self._slow = fastpath.slow_path_enabled()
 
         #: ultrapeer neighbours (ids) -- for leaves these are its shields
         self.peer_ids: List[str] = []
@@ -112,7 +121,8 @@ class GnutellaServent:
         #: optional host cache fed by incoming Pongs (crawlers use this)
         self.host_cache = None  # type: Optional[object]
 
-        transport.attach(endpoint_id, self._on_envelope)
+        transport.attach(endpoint_id, self._on_envelope_reference
+                         if self._slow else self._on_envelope)
 
     # -- identity ----------------------------------------------------------
     @property
@@ -162,20 +172,22 @@ class GnutellaServent:
         """Issue a keyword query to all attached ultrapeers.
 
         Returns the descriptor GUID so the caller can correlate hits.
+        The descriptor body is encoded once and fanned out; every
+        neighbour receives byte-identical wire bytes, as before.
         """
         guid = new_guid(self.stream)
         self._origin_guids.add(guid)
         query = Query(min_speed_kbps=min_speed_kbps, criteria=criteria)
-        for peer_id in self.peer_ids:
-            self._send_frame(peer_id, guid, query, ttl=ttl, hops=0)
+        encoded = self.frame_cache.frame(guid, query, ttl=ttl, hops=0)
+        self.transport.send_many(self.endpoint_id, self.peer_ids, encoded)
         return guid
 
     def send_ping(self) -> bytes:
         """Issue a Ping to neighbours (host discovery/keepalive)."""
         guid = new_guid(self.stream)
         self._origin_guids.add(guid)
-        for peer_id in self.peer_ids:
-            self._send_frame(peer_id, guid, Ping(), ttl=1, hops=0)
+        encoded = self.frame_cache.frame(guid, Ping(), ttl=1, hops=0)
+        self.transport.send_many(self.endpoint_id, self.peer_ids, encoded)
         return guid
 
     def send_bye(self, code: int = 200,
@@ -188,11 +200,71 @@ class GnutellaServent:
         """
         bye = Bye(code=code, reason=reason)
         guid = new_guid(self.stream)
-        for peer_id in self.peer_ids:
-            self._send_frame(peer_id, guid, bye, ttl=1, hops=0)
+        encoded = self.frame_cache.frame(guid, bye, ttl=1, hops=0)
+        self.transport.send_many(self.endpoint_id, self.peer_ids, encoded)
 
     # -- receiving -----------------------------------------------------------
     def _on_envelope(self, envelope: Envelope) -> None:
+        """Fast receive path: header-only parse, body decoded on demand.
+
+        Forwarding-heavy descriptor types never pay for a full decode:
+        QueryHits relay as raw bytes with only the ttl/hops re-stamped,
+        Pongs decode only when a host cache wants them, Pings and Pushes
+        are validated by length alone.  Accept/reject decisions (and the
+        ``decode_errors`` counter) match :meth:`_on_envelope_reference`
+        for every frame our encoders can produce; the per-type length
+        guards mirror the corresponding ``decode`` preconditions.
+        """
+        raw = envelope.payload
+        try:
+            header = parse_header(raw)
+        except MessageError:
+            self.stats.decode_errors += 1
+            return
+        dtype = header.descriptor_type
+        if dtype == DESCRIPTOR_QUERY:
+            try:
+                query = Query.decode(raw[HEADER_LENGTH:])
+            except MessageError:
+                self.stats.decode_errors += 1
+                return
+            self._handle_query(envelope.src, header, query, raw)
+        elif dtype == DESCRIPTOR_QUERY_HIT:
+            self._handle_query_hit_raw(envelope.src, header, raw)
+        elif dtype == DESCRIPTOR_PING:
+            self._handle_ping(envelope.src, header)
+        elif dtype == DESCRIPTOR_PONG:
+            # Pong.decode fails on exactly one condition: payload < 14
+            # bytes.  Check it even when nobody consumes the pong so the
+            # error counter matches the reference path.
+            if header.payload_length < 14:
+                self.stats.decode_errors += 1
+            elif self.host_cache is not None:
+                self.host_cache.add_pong(Pong.decode(raw[HEADER_LENGTH:]),
+                                         self.sim.now)
+        elif dtype == DESCRIPTOR_BYE:
+            try:
+                Bye.decode(raw[HEADER_LENGTH:])
+            except MessageError:
+                self.stats.decode_errors += 1
+                return
+            self._handle_bye(envelope.src)
+        elif dtype == DESCRIPTOR_PUSH:
+            # Push.decode fails iff the payload is short; the message
+            # itself is unused (downloads live at the measurement layer)
+            if header.payload_length < GUID_LENGTH + 10:
+                self.stats.decode_errors += 1
+        else:
+            # decode_payload rejects unknown descriptor types
+            self.stats.decode_errors += 1
+
+    def _on_envelope_reference(self, envelope: Envelope) -> None:
+        """Reference receive path: decode every body eagerly.
+
+        The pre-fast-path behaviour, kept verbatim for the equivalence
+        harness (see :mod:`repro.simnet.fastpath`): parse, decode, then
+        dispatch on the decoded message type.
+        """
         try:
             header, payload = parse_frame(envelope.payload)
             message = decode_payload(header, payload)
@@ -226,7 +298,12 @@ class GnutellaServent:
                          hops=0)
 
     # -- query path ----------------------------------------------------------
-    def _handle_query(self, src: str, header: Header, query: Query) -> None:
+    def _handle_query(self, src: str, header: Header, query: Query,
+                      raw: Optional[bytes] = None) -> None:
+        """Route one incoming query.  ``raw`` (fast path only) carries
+        the received wire bytes so forwarding re-stamps ttl/hops instead
+        of re-encoding the body; with ``raw=None`` (reference path)
+        every hop re-frames."""
         self.stats.queries_seen += 1
         if header.guid in self._routes or header.guid in self._origin_guids:
             self.stats.dropped_duplicates += 1
@@ -239,10 +316,10 @@ class GnutellaServent:
             return
         if self.dynamic_queries and src in self.leaf_tables:
             # pace the mesh probing; leaves are still served immediately
-            self._forward_to_leaves(src, header, query)
+            self._forward_to_leaves(src, header, query, raw)
             self._start_dynamic_query(src, header, query)
         else:
-            self._forward_query(src, header, query)
+            self._forward_query(src, header, query, raw)
 
     def _remember_route(self, guid: bytes, src: str) -> None:
         now = self.sim.now
@@ -252,22 +329,31 @@ class GnutellaServent:
                             if expiry > now}
         self._routes[guid] = (src, now + ROUTE_TTL_S)
 
-    def _forward_query(self, src: str, header: Header, query: Query) -> None:
+    def _forward_query(self, src: str, header: Header, query: Query,
+                       raw: Optional[bytes] = None) -> None:
         if header.ttl > 1:
-            forwarded = frame(header.guid, query, ttl=header.ttl - 1,
-                              hops=header.hops + 1)
-            for peer_id in self.peer_ids:
-                if peer_id != src:
-                    self.transport.send(self.endpoint_id, peer_id, forwarded)
-                    self.stats.queries_forwarded_peers += 1
+            if raw is not None:
+                forwarded = patch_ttl_hops(raw, header.ttl - 1,
+                                           header.hops + 1)
+            else:
+                forwarded = frame(header.guid, query, ttl=header.ttl - 1,
+                                  hops=header.hops + 1)
+            targets = [peer_id for peer_id in self.peer_ids
+                       if peer_id != src]
+            self.transport.send_many(self.endpoint_id, targets, forwarded)
+            self.stats.queries_forwarded_peers += len(targets)
         else:
             self.stats.dropped_ttl += 1
-        self._forward_to_leaves(src, header, query)
+        self._forward_to_leaves(src, header, query, raw)
 
-    def _forward_to_leaves(self, src: str, header: Header,
-                           query: Query) -> None:
+    def _forward_to_leaves(self, src: str, header: Header, query: Query,
+                           raw: Optional[bytes] = None) -> None:
         # leaves are last-hop deliveries regardless of remaining TTL
-        leaf_frame = frame(header.guid, query, ttl=1, hops=header.hops + 1)
+        if raw is not None:
+            leaf_frame = patch_ttl_hops(raw, 1, header.hops + 1)
+        else:
+            leaf_frame = frame(header.guid, query, ttl=1,
+                               hops=header.hops + 1)
         for leaf_id, table in self.leaf_tables.items():
             if leaf_id == src:
                 continue
@@ -308,16 +394,29 @@ class GnutellaServent:
             return
         header: Header = state["header"]  # type: ignore[assignment]
         query: Query = state["query"]  # type: ignore[assignment]
-        probe = frame(guid, query, ttl=self.DQ_PROBE_TTL,
-                      hops=header.hops + 1)
+        if self._slow:
+            probe = frame(guid, query, ttl=self.DQ_PROBE_TTL,
+                          hops=header.hops + 1)
+        else:
+            # the same query object probes round after round, so the
+            # cache encodes the body once and re-stamps ttl/hops
+            probe = self.frame_cache.frame(guid, query,
+                                           ttl=self.DQ_PROBE_TTL,
+                                           hops=header.hops + 1)
         for _ in range(min(self.DQ_BATCH, len(remaining))):
             peer_id = remaining.pop()
             self.transport.send(self.endpoint_id, peer_id, probe)
             self.stats.queries_forwarded_peers += 1
         state["rounds"] = int(state["rounds"]) + 1
-        self.sim.after(self.DQ_INTERVAL_S,
-                       lambda: self._dynamic_round(guid),
-                       label="dynamic-query")
+        if self._slow:
+            self.sim.after(self.DQ_INTERVAL_S,
+                           lambda: self._dynamic_round(guid),
+                           label="dynamic-query")
+        else:
+            # args-carrying event: same time, same label, no closure
+            self.sim.queue.push(self.sim.now + self.DQ_INTERVAL_S,
+                                self._dynamic_round, "dynamic-query",
+                                (guid,))
 
     def _answer_locally(self, src: str, header: Header,
                         query: Query) -> None:
@@ -398,4 +497,50 @@ class GnutellaServent:
         forwarded = frame(header.guid, hit, ttl=header.ttl - 1,
                           hops=header.hops + 1)
         self.transport.send(self.endpoint_id, route[0], forwarded)
+        self.stats.hits_forwarded += 1
+
+    def _handle_query_hit_raw(self, src: str, header: Header,
+                              raw: bytes) -> None:
+        """Fast-path twin of :meth:`_handle_query_hit`.
+
+        A relaying servent never needs the result list -- only the
+        responder GUID (the frame's last 16 bytes), the result count
+        (the payload's first byte) and the routing fields already in the
+        header -- so intermediate hops forward the received bytes with
+        just ttl/hops re-stamped.  Hits to our *own* queries decode
+        fully before any side effect, exactly as the reference path
+        does (a malformed hit must leave no state behind).
+        """
+        if header.guid in self._origin_guids:
+            try:
+                hit = QueryHit.decode(raw[HEADER_LENGTH:])
+            except MessageError:
+                self.stats.decode_errors += 1
+                return
+            self._remember_push_route(hit.servent_guid, src)
+            state = self._dynamic_states.get(header.guid)
+            if state is not None:
+                state["results"] = int(state["results"]) + len(hit.results)
+            self.stats.hits_received_local += 1
+            if self.on_local_hit is not None:
+                self.on_local_hit(hit, header)
+            return
+        if header.payload_length < 11 + GUID_LENGTH:
+            # below QueryHit.decode's floor; count it like the reference
+            self.stats.decode_errors += 1
+            return
+        self._remember_push_route(raw[-GUID_LENGTH:], src)
+        state = self._dynamic_states.get(header.guid)
+        if state is not None:
+            # payload byte 0 is the result count
+            state["results"] = int(state["results"]) + raw[HEADER_LENGTH]
+        route = self._routes.get(header.guid)
+        if route is None or route[1] < self.sim.now:
+            return  # route expired or unknown; drop like real servents
+        if header.ttl <= 1:
+            self.stats.dropped_ttl += 1
+            return
+        self.transport.send(self.endpoint_id, route[0],
+                            patch_ttl_hops(raw, header.ttl - 1,
+                                           header.hops + 1))
         self.stats.hits_forwarded += 1

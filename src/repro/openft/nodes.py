@@ -14,6 +14,7 @@ the non-"downloadable" responses of the paper's denominator.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
@@ -21,20 +22,23 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..files.library import SharedLibrary
 from ..files.names import tokenize
 from ..malware.infection import HostInfection
+from ..simnet import fastpath
 from ..simnet.addresses import HostAddress
 from ..simnet.kernel import Simulator
 from ..simnet.rng import SeededStream
 from ..simnet.transport import Envelope, Transport
 from .constants import (CLASS_SEARCH, CLASS_USER, DEFAULT_HTTP_PORT,
-                        DEFAULT_OPENFT_PORT, MAX_SEARCH_RESULTS,
-                        OPENFT_VERSION, SEARCH_TTL)
-from .packets import (AddShare, BrowseRequest, BrowseResponse, ChildRequest,
+                        DEFAULT_OPENFT_PORT, FT_BROWSE_RESPONSE,
+                        FT_SEARCH_REQUEST, FT_SEARCH_RESPONSE,
+                        MAX_SEARCH_RESULTS, OPENFT_VERSION, SEARCH_TTL)
+from .packets import (PACKET_HEADER_LENGTH, SEARCH_ID_OFFSET, AddShare,
+                      BrowseRequest, BrowseResponse, ChildRequest,
                       ChildResponse, NodeInfoRequest, NodeInfoResponse,
                       NodeListEntry, NodeListRequest, NodeListResponse,
                       PacketError, SearchRequest, SearchResponse,
                       ShareSyncEnd, StatsRequest, StatsResponse,
                       VersionRequest, VersionResponse, decode_packet,
-                      encode_packet)
+                      encode_packet, parse_packet_header, patch_search_ttl)
 
 __all__ = ["ShareRecord", "NodeStats", "OpenFTNode"]
 
@@ -122,8 +126,12 @@ class OpenFTNode:
         self._own_searches: Set[int] = set()
         self._own_browses: Set[int] = set()
         self._search_counter = 0
+        #: sampled at construction (see simnet.fastpath): True selects
+        #: the decode-everything reference receive path
+        self._slow = fastpath.slow_path_enabled()
 
-        transport.attach(endpoint_id, self._on_envelope)
+        transport.attach(endpoint_id, self._on_envelope_reference
+                         if self._slow else self._on_envelope)
 
     # -- identity -----------------------------------------------------------
     @property
@@ -150,6 +158,52 @@ class OpenFTNode:
         self.transport.send(self.endpoint_id, dst, encode_packet(packet))
 
     def _on_envelope(self, envelope: Envelope) -> None:
+        """Fast receive path: header-only parse, decode on demand.
+
+        The two relay-dominated commands (search responses travelling
+        back to the requester, browse listings streaming past
+        non-owners) and search requests at non-search nodes skip the
+        payload decode entirely; everything else falls through to the
+        eager dispatch.  ``parse_packet_header`` applies the same
+        framing checks as :func:`decode_packet`, so accept/reject --
+        and ``decode_errors`` -- match the reference path for every
+        packet our encoders produce.
+        """
+        raw = envelope.payload
+        try:
+            command, length = parse_packet_header(raw)
+        except PacketError:
+            self.stats.decode_errors += 1
+            return
+        if command == FT_SEARCH_RESPONSE:
+            self._handle_SearchResponse_raw(envelope.src, raw, length)
+        elif command == FT_SEARCH_REQUEST:
+            if not self.is_search_node:
+                return  # the reference path decodes, then discards
+            try:
+                packet = SearchRequest.decode(raw[PACKET_HEADER_LENGTH:])
+            except PacketError:
+                self.stats.decode_errors += 1
+                return
+            self._handle_SearchRequest(envelope.src, packet, raw)
+        elif command == FT_BROWSE_RESPONSE:
+            self._handle_BrowseResponse_raw(envelope.src, raw, length)
+        else:
+            try:
+                packet = decode_packet(raw)
+            except PacketError:
+                self.stats.decode_errors += 1
+                return
+            handler = getattr(self, f"_handle_{type(packet).__name__}", None)
+            if handler is not None:
+                handler(envelope.src, packet)
+
+    def _on_envelope_reference(self, envelope: Envelope) -> None:
+        """Reference receive path: decode every payload eagerly.
+
+        The pre-fast-path behaviour, kept for the equivalence harness
+        (see :mod:`repro.simnet.fastpath`).
+        """
         try:
             packet = decode_packet(envelope.payload)
         except PacketError:
@@ -229,18 +283,35 @@ class OpenFTNode:
         self._send(search_node_id, ChildRequest())
 
     # -- share sync ------------------------------------------------------------
+    def _share_sync_packets(self) -> List[bytes]:
+        """The encoded AddShare burst (plus end marker) for one sync."""
+        packets = [encode_packet(AddShare(size=shared.size,
+                                          md5=shared.blob.md5_hex(),
+                                          filename=shared.name))
+                   for shared in self.library]
+        packets.append(encode_packet(ShareSyncEnd()))
+        return packets
+
     def sync_shares_to(self, parent_id: str) -> None:
         """Send the current library as AddShare packets to one parent."""
-        for shared in self.library:
-            self._send(parent_id, AddShare(size=shared.size,
-                                           md5=shared.blob.md5_hex(),
-                                           filename=shared.name))
-        self._send(parent_id, ShareSyncEnd())
+        send = self.transport.send
+        for raw in self._share_sync_packets():
+            send(self.endpoint_id, parent_id, raw)
 
     def sync_shares(self) -> None:
-        """Re-sync shares to every parent (called on session up)."""
+        """Re-sync shares to every parent (called on session up).
+
+        The burst is encoded once and replayed per parent -- same send
+        order (all of parent A, then all of parent B) and identical
+        bytes as encoding inside the loop, minus the redundant work.
+        """
+        if not self.parent_ids:
+            return
+        packets = self._share_sync_packets()
+        send = self.transport.send
         for parent_id in self.parent_ids:
-            self.sync_shares_to(parent_id)
+            for raw in packets:
+                send(self.endpoint_id, parent_id, raw)
 
     def _handle_AddShare(self, src: str, packet: AddShare) -> None:
         if src not in self._children:
@@ -317,16 +388,24 @@ class OpenFTNode:
             self._search_counter & 0xFFFF)
 
     def originate_search(self, query: str) -> int:
-        """Send a search to every parent; returns the search id."""
+        """Send a search to every parent; returns the search id.
+
+        Encoded once and fanned out: every parent receives the same
+        wire bytes, exactly as the per-parent encode produced.
+        """
         search_id = self._request_id()
         self._own_searches.add(search_id)
         request = SearchRequest(search_id=search_id, ttl=SEARCH_TTL,
                                 query=query)
-        for parent_id in self.parent_ids:
-            self._send(parent_id, request)
+        self.transport.send_many(self.endpoint_id, self.parent_ids,
+                                 encode_packet(request))
         return search_id
 
-    def _handle_SearchRequest(self, src: str, packet: SearchRequest) -> None:
+    def _handle_SearchRequest(self, src: str, packet: SearchRequest,
+                              raw: Optional[bytes] = None) -> None:
+        """Serve and forward one search.  ``raw`` (fast path only) lets
+        the mesh forward re-stamp the ttl bytes instead of re-encoding
+        the request once per peer."""
         if not self.is_search_node:
             return
         self.stats.searches_seen += 1
@@ -343,12 +422,21 @@ class OpenFTNode:
         self._send(src, SearchResponse.end_marker(packet.search_id))
 
         if packet.ttl > 0:
-            forwarded = SearchRequest(search_id=packet.search_id,
-                                      ttl=packet.ttl - 1, query=packet.query)
-            for peer_id in self.search_peer_ids:
-                if peer_id != src:
-                    self._send(peer_id, forwarded)
-                    self.stats.searches_forwarded += 1
+            if raw is not None:
+                forwarded = patch_search_ttl(raw, packet.ttl - 1)
+                targets = [peer_id for peer_id in self.search_peer_ids
+                           if peer_id != src]
+                self.transport.send_many(self.endpoint_id, targets,
+                                         forwarded)
+                self.stats.searches_forwarded += len(targets)
+            else:
+                request = SearchRequest(search_id=packet.search_id,
+                                        ttl=packet.ttl - 1,
+                                        query=packet.query)
+                for peer_id in self.search_peer_ids:
+                    if peer_id != src:
+                        self._send(peer_id, request)
+                        self.stats.searches_forwarded += 1
 
     def _match_local(self, packet: SearchRequest) -> List[SearchResponse]:
         tokens = [token for token in tokenize(packet.query) if token]
@@ -385,6 +473,35 @@ class OpenFTNode:
             return
         self._send(route[0], packet)
 
+    def _handle_SearchResponse_raw(self, src: str, raw: bytes,
+                                   length: int) -> None:
+        """Fast-path twin of :meth:`_handle_SearchResponse`.
+
+        A relaying node only needs the search id (fixed offset) to pick
+        the route; the received bytes forward untouched -- they are the
+        bytes a decode/re-encode would produce.  Responses to our *own*
+        searches decode fully before the callback sees them.
+        """
+        if length < 38:
+            # below SearchResponse.decode's floor; count it like the
+            # reference path would
+            self.stats.decode_errors += 1
+            return
+        search_id = struct.unpack_from(">I", raw, SEARCH_ID_OFFSET)[0]
+        if search_id in self._own_searches:
+            try:
+                packet = SearchResponse.decode(raw[PACKET_HEADER_LENGTH:])
+            except PacketError:
+                self.stats.decode_errors += 1
+                return
+            if self.on_search_result is not None:
+                self.on_search_result(packet)
+            return
+        route = self._search_routes.get(search_id)
+        if route is None or route[1] < self.sim.now:
+            return
+        self.transport.send(self.endpoint_id, route[0], raw)
+
     # -- browsing ------------------------------------------------------------
     def originate_browse(self, target_id: str) -> int:
         """Ask ``target_id`` for its share list; returns the browse id."""
@@ -406,6 +523,24 @@ class OpenFTNode:
         if packet.browse_id in self._own_browses:
             if self.on_browse_result is not None:
                 self.on_browse_result(packet)
+
+    def _handle_BrowseResponse_raw(self, src: str, raw: bytes,
+                                   length: int) -> None:
+        """Fast-path twin of :meth:`_handle_BrowseResponse`: listings
+        streaming past a non-owner are dropped on the browse id alone."""
+        if length < 26:
+            self.stats.decode_errors += 1
+            return
+        browse_id = struct.unpack_from(">I", raw, PACKET_HEADER_LENGTH)[0]
+        if browse_id not in self._own_browses:
+            return
+        try:
+            packet = BrowseResponse.decode(raw[PACKET_HEADER_LENGTH:])
+        except PacketError:
+            self.stats.decode_errors += 1
+            return
+        if self.on_browse_result is not None:
+            self.on_browse_result(packet)
 
     def _handle_PushRequest(self, src: str, packet) -> None:
         pass  # downloads are modelled at the measurement layer

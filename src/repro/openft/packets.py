@@ -32,7 +32,16 @@ __all__ = ["PacketError", "VersionRequest", "VersionResponse",
            "ChildResponse", "AddShare", "RemShare", "ShareSyncEnd",
            "StatsRequest", "StatsResponse", "SearchRequest",
            "SearchResponse", "BrowseRequest", "BrowseResponse",
-           "PushRequest", "encode_packet", "decode_packet"]
+           "PushRequest", "encode_packet", "decode_packet",
+           "parse_packet_header", "patch_search_ttl",
+           "PACKET_HEADER_LENGTH", "SEARCH_ID_OFFSET", "SEARCH_TTL_OFFSET"]
+
+#: ``length(2 BE) | command(2 BE)`` -- every packet starts with these.
+PACKET_HEADER_LENGTH = 4
+#: SearchRequest/SearchResponse payloads open with the 4-byte search id.
+SEARCH_ID_OFFSET = PACKET_HEADER_LENGTH
+#: SearchRequest ttl sits right after the search id (see its ``encode``).
+SEARCH_TTL_OFFSET = SEARCH_ID_OFFSET + 4
 
 
 class PacketError(ValueError):
@@ -541,3 +550,35 @@ def decode_packet(raw: bytes):
     if decoder is None:
         raise PacketError(f"unknown command 0x{command:04x}")
     return decoder(payload)
+
+
+def parse_packet_header(raw: bytes) -> Tuple[int, int]:
+    """``(command, payload_length)`` without decoding the payload.
+
+    Applies exactly the framing checks :func:`decode_packet` applies
+    (short packet, declared-vs-actual length, known command), so a
+    packet accepted here is a packet ``decode_packet`` would hand to a
+    payload decoder.  Lazy receivers dispatch on the command and decode
+    only when a handler needs payload fields.
+    """
+    if len(raw) < PACKET_HEADER_LENGTH:
+        raise PacketError(f"short packet: {len(raw)} bytes")
+    length, command = struct.unpack_from(">HH", raw)
+    if len(raw) - PACKET_HEADER_LENGTH != length:
+        raise PacketError(
+            f"length mismatch: header says {length}, "
+            f"got {len(raw) - PACKET_HEADER_LENGTH}")
+    if command not in _DECODERS:
+        raise PacketError(f"unknown command 0x{command:04x}")
+    return command, length
+
+
+def patch_search_ttl(raw: bytes, ttl: int) -> bytes:
+    """Re-stamp a framed SearchRequest's ttl without re-encoding.
+
+    The ttl is the only field a forwarding SEARCH node changes, and it
+    sits at a fixed offset (search id is fixed-width), so splicing the
+    two ttl bytes produces the same bytes a decode/re-encode would.
+    """
+    return (raw[:SEARCH_TTL_OFFSET] + struct.pack(">H", ttl)
+            + raw[SEARCH_TTL_OFFSET + 2:])

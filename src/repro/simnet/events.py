@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 __all__ = ["Event", "EventQueue"]
 
@@ -33,13 +33,19 @@ class Event:
 
     ``cancelled`` events stay in the heap (removal from a heap middle is
     O(n)) and are skipped on pop -- the standard lazy-deletion idiom.
+
+    ``args`` are splatted into the callback when the kernel fires it:
+    ``callback(*args)``.  High-volume schedulers (the transport's
+    delivery path) pass a shared method plus an args tuple instead of
+    allocating a fresh closure per message.
     """
 
     time: float
     seq: int
-    callback: Callable[[], Any] = field(compare=False)
+    callback: Callable[..., Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    args: Tuple[Any, ...] = field(default=(), compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it."""
@@ -47,7 +53,15 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of :class:`Event` objects.
+
+    Heap entries are ``(time, seq, event)`` tuples rather than the
+    events themselves: tuple ordering is resolved entirely in C, so a
+    sift never calls back into a Python ``__lt__`` (the generated
+    dataclass comparison allocated two tuples per comparison, ~log n
+    times per pop -- the single hottest cost in the kernel loop).  The
+    unique ``seq`` guarantees the ``event`` slot is never compared.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
@@ -59,14 +73,19 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def push(self, time: float, callback: Callable[[], Any],
-             label: str = "") -> Event:
-        """Schedule ``callback`` at absolute virtual ``time``."""
+    def push(self, time: float, callback: Callable[..., Any],
+             label: str = "", args: tuple = ()) -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``.
+
+        ``args`` are splatted into the callback at fire time; see
+        :class:`Event`.
+        """
         if time < 0:
             raise ValueError(f"cannot schedule at negative time {time!r}")
-        event = Event(time=time, seq=next(self._counter),
-                      callback=callback, label=label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time=time, seq=seq,
+                      callback=callback, label=label, args=args)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -84,7 +103,7 @@ class EventQueue:
         cancelled event, and pop never returns one.
         """
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
             if self._dead > 0:
                 self._dead -= 1
@@ -94,14 +113,42 @@ class EventQueue:
         self._discard_cancelled_head()
         if not self._heap:
             return None
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[2]
         self._live -= 1
         return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
         self._discard_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
+
+    def pop_ready(self, end_time: float,
+                  _heappop=heapq.heappop) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= end_time``.
+
+        Returns None when the queue is drained or the head lies beyond
+        the horizon.  This is the kernel's hot-path primitive: one pass
+        over the (possibly cancelled) head instead of the
+        peek_time()/pop() pair, which walked the dead prefix twice and
+        paid two extra calls per event.  Pop order is identical to
+        ``peek_time() <= end_time and pop()``, so run digests are
+        unaffected.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                _heappop(heap)
+                if self._dead > 0:
+                    self._dead -= 1
+                continue
+            if entry[0] > end_time:
+                return None
+            _heappop(heap)
+            self._live -= 1
+            return event
+        return None
 
     @property
     def dead_events(self) -> int:
@@ -117,13 +164,14 @@ class EventQueue:
     def _maybe_compact(self) -> None:
         """Rebuild the heap when over half of it is dead weight.
 
-        heapify over the surviving events preserves the (time, seq)
+        heapify over the surviving entries preserves the (time, seq)
         order, so pop order -- and therefore campaign determinism -- is
         unaffected.
         """
         heap = self._heap
         if len(heap) >= _COMPACT_MIN_SIZE and 2 * self._dead > len(heap):
-            self._heap = [event for event in heap if not event.cancelled]
+            self._heap = [entry for entry in heap
+                          if not entry[2].cancelled]
             heapq.heapify(self._heap)
             self._dead = 0
             self.compactions += 1

@@ -12,13 +12,21 @@ kernel notices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional
 
+from . import fastpath
 from .kernel import Simulator
 from .rng import SeededStream
 
 __all__ = ["LatencyModel", "Envelope", "Endpoint", "Transport",
-           "DROP_CAUSES"]
+           "DROP_CAUSES", "DELIVER_LABEL"]
+
+#: The one event label every delivery is scheduled under.  Deliberately
+#: constant: the old ``f"deliver:{src}->{dst}"`` scheme interned one
+#: string (and grew one telemetry ``label_counts`` key) per endpoint
+#: pair -- unbounded in population size.  Per-pair traffic breakdowns
+#: belong in sampled traces, not per-event labels.
+DELIVER_LABEL = "deliver"
 
 
 @dataclass
@@ -41,9 +49,14 @@ class LatencyModel:
         return propagation + serialization
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
-    """A message in flight between two endpoints."""
+    """A message in flight between two endpoints.
+
+    Slotted: one Envelope is allocated per transported message, so the
+    per-instance ``__dict__`` was pure overhead on the hottest
+    allocation site in a campaign.
+    """
 
     src: str
     dst: str
@@ -51,15 +64,20 @@ class Envelope:
     sent_at: float
 
 
-@dataclass
+@dataclass(eq=False)
 class Endpoint:
-    """A host's attachment to the virtual network."""
+    """A host's attachment to the virtual network.
+
+    ``eq=False``: endpoints are identity-compared registry entries, and
+    the generated ``__eq__`` would tuple-compare five fields (including
+    a callback) on every accidental comparison.
+    """
 
     endpoint_id: str
     on_message: Callable[[Envelope], None]
     online: bool = True
-    received: int = field(default=0, compare=False)
-    sent: int = field(default=0, compare=False)
+    received: int = 0
+    sent: int = 0
 
 
 #: Every cause the transport (or a fault injector) can drop a message for.
@@ -79,6 +97,9 @@ class Transport:
         self.loss_rate = loss_rate
         self._endpoints: Dict[str, Endpoint] = {}
         self._stream = sim.stream("transport")
+        #: sampled at construction: True routes sends through the
+        #: closure-allocating reference scheduler (see simnet.fastpath)
+        self._slow = fastpath.slow_path_enabled()
         self.delivered = 0
         #: per-cause drop tally; ``dropped`` sums it (see DROP_CAUSES)
         self.drop_causes: Dict[str, int] = {cause: 0 for cause in DROP_CAUSES}
@@ -146,12 +167,46 @@ class Transport:
             return False
 
         sender.sent += 1
-        envelope = Envelope(src=src, dst=dst, payload=payload,
-                            sent_at=self.sim.now)
+        now = self.sim.now
+        envelope = Envelope(src=src, dst=dst, payload=payload, sent_at=now)
         delay = self.latency.delay(self._stream, len(payload))
-        self.sim.after(delay, lambda: self._deliver(envelope),
-                       label=f"deliver:{src}->{dst}")
+        if self._slow:
+            # reference twin: per-message closure, same label, same
+            # delivery-time _deliver lookup -- byte-identical schedule
+            self.sim.after(delay, lambda: self._deliver(envelope),
+                           label=DELIVER_LABEL)
+        else:
+            # args-carrying event: no closure allocation.  The callback
+            # is _dispatch, not the bound _deliver, so fault injectors
+            # and traces that tap ``self._deliver`` after this message
+            # was scheduled still see it (the tap is resolved at fire
+            # time, exactly as the closure resolved it).
+            self.sim.queue.push(now + delay, self._dispatch,
+                                DELIVER_LABEL, (envelope,))
         return True
+
+    def send_many(self, src: str, dsts: Iterable[str],
+                  payload: bytes) -> int:
+        """Fan one encoded payload out to many destinations.
+
+        Equivalent to calling :meth:`send` once per destination in
+        order -- same drop accounting, same per-destination loss and
+        latency draws, one scheduled delivery per receiver (so
+        per-envelope taps observe every copy individually) -- but the
+        caller encodes the payload exactly once.  Returns the number of
+        messages actually queued.
+        """
+        send = self.send
+        sent = 0
+        for dst in dsts:
+            if send(src, dst, payload):
+                sent += 1
+        return sent
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        # late-binds self._deliver so delivery taps installed while the
+        # message was in flight still intercept it
+        self._deliver(envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
         receiver = self._endpoints.get(envelope.dst)

@@ -27,11 +27,16 @@ registry per run so replications never share instruments.
 from __future__ import annotations
 
 import re
+import warnings
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry",
-           "DEFAULT_BUCKETS", "get_registry", "set_registry"]
+           "DEFAULT_BUCKETS", "OVERFLOW_LABEL", "get_registry",
+           "set_registry"]
+
+#: Label value that absorbs samples past an instrument's cardinality cap.
+OVERFLOW_LABEL = "_overflow_"
 
 #: Default histogram boundaries (seconds): microseconds through 1s,
 #: tuned for event-callback and scan wall times.
@@ -61,6 +66,13 @@ class _Instrument:
 
     kind = "untyped"
 
+    #: per-instrument cap on distinct label-value children; set by the
+    #: owning :class:`MetricRegistry`, None means unbounded.  A metric
+    #: whose label values track population identifiers would otherwise
+    #: grow without limit (the failure mode the constant delivery label
+    #: in :mod:`repro.simnet.transport` exists to prevent).
+    max_cardinality: Optional[int] = None
+
     def __init__(self, name: str, help: str = "",
                  label_names: Sequence[str] = ()) -> None:
         if not _NAME_RE.match(name):
@@ -74,7 +86,15 @@ class _Instrument:
         self._children: Dict[Tuple[str, ...], "_Instrument"] = {}
 
     def labels(self, *values: str) -> "_Instrument":
-        """The cached child for one label-value combination."""
+        """The cached child for one label-value combination.
+
+        Once an instrument holds :attr:`max_cardinality` distinct
+        children, further *new* combinations collapse into a single
+        ``_overflow_`` child (existing combinations keep resolving to
+        their own child), and a RuntimeWarning fires once per
+        instrument -- the totals stay right while the label explosion
+        is both bounded and loud.
+        """
         if not self.label_names:
             raise ValueError(f"{self.name} declares no labels")
         if len(values) != len(self.label_names):
@@ -84,6 +104,20 @@ class _Instrument:
         key = tuple(str(value) for value in values)
         child = self._children.get(key)
         if child is None:
+            limit = self.max_cardinality
+            if limit is not None and len(self._children) >= limit:
+                key = (OVERFLOW_LABEL,) * len(self.label_names)
+                child = self._children.get(key)
+                if child is None:
+                    warnings.warn(
+                        f"metric {self.name} exceeded its label "
+                        f"cardinality cap ({limit}); new label "
+                        f"combinations are folded into "
+                        f"{OVERFLOW_LABEL!r}", RuntimeWarning,
+                        stacklevel=2)
+                    child = self._make_child()
+                    self._children[key] = child
+                return child
             child = self._make_child()
             self._children[key] = child
         return child
@@ -223,9 +257,20 @@ class Histogram(_Instrument):
 
 
 class MetricRegistry:
-    """Named instruments with get-or-create semantics and export."""
+    """Named instruments with get-or-create semantics and export.
 
-    def __init__(self) -> None:
+    ``max_label_cardinality`` caps how many distinct label-value
+    children each labelled instrument may grow (see
+    :meth:`_Instrument.labels`); pass None to disable the guard.
+    """
+
+    def __init__(self,
+                 max_label_cardinality: Optional[int] = 1000) -> None:
+        if max_label_cardinality is not None and max_label_cardinality < 1:
+            raise ValueError(
+                f"max_label_cardinality must be positive or None, "
+                f"got {max_label_cardinality!r}")
+        self.max_label_cardinality = max_label_cardinality
         self._metrics: Dict[str, _Instrument] = {}
 
     def __len__(self) -> int:
@@ -253,6 +298,7 @@ class MetricRegistry:
                     f"labels {existing.label_names}")
             return existing
         instrument = cls(name, help, label_names, **kwargs)
+        instrument.max_cardinality = self.max_label_cardinality
         self._metrics[name] = instrument
         return instrument
 

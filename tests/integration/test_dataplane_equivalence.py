@@ -1,0 +1,110 @@
+"""Golden-digest proof that the data-plane fast path changes nothing.
+
+Every test here replays the same campaign on the fast twins
+(encode-once fan-out, lazy decode, args-carrying delivery events) and
+on the reference twins (per-send re-encode, eager decode, closure
+deliveries) and demands bit-identical outcomes: the kernel
+:class:`EventDigest`, the measurement store's sha256, and the headline
+metrics.  Variants cover both networks, telemetry on and off, and an
+armed :class:`FaultPlan` -- the injector tap must keep seeing every
+fan-out envelope individually.
+"""
+
+import pytest
+
+from repro.core.experiments import HEADLINE_METRICS
+from repro.core.measure.campaign import (CampaignConfig,
+                                         run_limewire_campaign,
+                                         run_openft_campaign)
+from repro.devtools.selfcheck import run_equivalence_check
+from repro.faults import FaultPlan, LossBurst
+from repro.peers.profiles import GnutellaProfile, OpenFTProfile
+from repro.simnet import fastpath
+from repro.simnet.kernel import Simulator
+from repro.simnet.transport import LatencyModel, Transport
+
+
+class TestGoldenDigests:
+    """Fast vs reference with full telemetry + kernel digest attached."""
+
+    @pytest.mark.parametrize("network,seed", [
+        ("limewire", 5), ("limewire", 23), ("openft", 5),
+    ])
+    def test_fast_path_is_bit_identical(self, network, seed):
+        check = run_equivalence_check(network, seed, days=0.05, scale=0.3)
+        assert check.ok, check.render()
+        assert check.events > 0
+
+    def test_check_restores_the_fast_path(self):
+        run_equivalence_check("limewire", 5, days=0.02, scale=0.25)
+        assert not fastpath.slow_path_enabled()
+
+
+def _campaign_fingerprint(runner, profile, config):
+    result = runner(config, profile=profile)
+    network = result.store.network
+    metrics = {name: fn(result)
+               for name, fn in HEADLINE_METRICS[network].items()}
+    injected = dict(result.faults.injected) if result.faults else None
+    return result.store.content_digest(), metrics, injected
+
+
+def _both_planes(runner, profile, config):
+    fast = _campaign_fingerprint(runner, profile, config)
+    with fastpath.use_slow_path():
+        slow = _campaign_fingerprint(runner, profile, config)
+    return fast, slow
+
+
+class TestWithoutTelemetry:
+    """The digest harness rides telemetry; prove equivalence bare too."""
+
+    def test_limewire(self):
+        fast, slow = _both_planes(
+            run_limewire_campaign, GnutellaProfile().scaled(0.3),
+            CampaignConfig(seed=9, duration_days=0.05))
+        assert fast == slow
+
+    def test_openft(self):
+        fast, slow = _both_planes(
+            run_openft_campaign, OpenFTProfile().scaled(0.3),
+            CampaignConfig(seed=9, duration_days=0.05))
+        assert fast == slow
+
+
+class TestUnderFaults:
+    def test_limewire_with_loss_burst(self):
+        """Same drops, same survivors, same injector tallies both planes."""
+        plan = FaultPlan(clauses=(LossBurst(start_s=100.0, end_s=2000.0,
+                                            loss_rate=0.25),))
+        config = CampaignConfig(seed=13, duration_days=0.05,
+                                fault_plan=plan)
+        fast, slow = _both_planes(run_limewire_campaign,
+                                  GnutellaProfile().scaled(0.3), config)
+        assert fast == slow
+        _digest, _metrics, injected = fast
+        assert injected and injected.get("loss", 0) > 0
+
+    def test_injector_tap_sees_each_fanout_send(self):
+        """send_many must schedule one interceptable delivery per
+        receiver -- a batched delivery would let one loss draw kill (or
+        spare) the whole fan-out."""
+        from repro.faults.injectors import FaultInjector
+
+        sim = Simulator(seed=4)
+        transport = Transport(sim, LatencyModel())
+        plan = FaultPlan(clauses=(LossBurst(start_s=0.0, end_s=60.0,
+                                            loss_rate=1.0),))
+        injector = FaultInjector(sim, transport, plan, protect=())
+        injector.install()
+
+        delivered = []
+        transport.attach("src", lambda e: None)
+        for peer in ("a", "b", "c"):
+            transport.attach(peer, delivered.append)
+        queued = transport.send_many("src", ("a", "b", "c"), b"payload")
+        assert queued == 3
+        sim.run_until(30.0)
+        assert injector.injected.get("loss") == 3  # one draw per envelope
+        assert delivered == []
+        assert transport.drop_causes["fault-injected"] == 3

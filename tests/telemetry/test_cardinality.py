@@ -1,0 +1,65 @@
+"""Label-cardinality guard: the registry bounds label explosions loudly."""
+
+import warnings
+
+import pytest
+
+from repro.telemetry.registry import OVERFLOW_LABEL, MetricRegistry
+
+
+def _overflowing_counter(cap=3, extra=4):
+    registry = MetricRegistry(max_label_cardinality=cap)
+    counter = registry.counter("deliveries_total", "per-link deliveries",
+                               labels=("link",))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for i in range(cap + extra):
+            counter.labels(f"link-{i}").inc()
+    return registry, counter, caught
+
+
+class TestCardinalityGuard:
+    def test_new_combinations_fold_into_overflow(self):
+        _registry, counter, _caught = _overflowing_counter(cap=3, extra=4)
+        keys = {key for key, _child in counter.samples()}
+        assert (OVERFLOW_LABEL,) in keys
+        assert len(keys) == 4  # 3 real children + the overflow bucket
+
+    def test_totals_are_preserved(self):
+        _registry, counter, _caught = _overflowing_counter(cap=3, extra=4)
+        total = sum(child.value for _key, child in counter.samples())
+        assert total == 7
+
+    def test_warns_once_per_instrument(self):
+        _registry, _counter, caught = _overflowing_counter(cap=2, extra=5)
+        overflow_warnings = [w for w in caught
+                             if issubclass(w.category, RuntimeWarning)]
+        assert len(overflow_warnings) == 1
+        assert "cardinality cap" in str(overflow_warnings[0].message)
+
+    def test_existing_keys_keep_their_own_child(self):
+        registry = MetricRegistry(max_label_cardinality=2)
+        counter = registry.counter("hits_total", labels=("who",))
+        counter.labels("a").inc()
+        counter.labels("b").inc()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            counter.labels("c").inc()  # past the cap -> overflow
+            counter.labels("a").inc()  # pre-existing -> still its own
+        by_key = dict(counter.samples())
+        assert by_key[("a",)].value == 2
+        assert by_key[(OVERFLOW_LABEL,)].value == 1
+
+    def test_unbounded_when_cap_is_none(self):
+        registry = MetricRegistry(max_label_cardinality=None)
+        counter = registry.counter("free_total", labels=("who",))
+        for i in range(50):
+            counter.labels(f"who-{i}").inc()
+        assert len(dict(counter.samples())) == 50
+
+    def test_cap_validated(self):
+        with pytest.raises(ValueError):
+            MetricRegistry(max_label_cardinality=0)
+
+    def test_default_cap_is_bounded(self):
+        assert MetricRegistry().max_label_cardinality == 1000
