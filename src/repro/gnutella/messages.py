@@ -386,16 +386,25 @@ def parse_header(raw: bytes) -> Header:
     return header
 
 
-def patch_ttl_hops(raw: bytes, ttl: int, hops: int) -> bytes:
+def patch_ttl_hops(raw, ttl: int, hops: int) -> bytes:
     """Re-stamp a frame's TTL and hops without re-encoding the body.
 
     The descriptor header is fixed-layout (GUID | type | TTL | hops |
     length) and a forwarded descriptor differs from the received one in
-    exactly those two bytes, so splicing them produces the same bytes
+    exactly those two bytes, so poking them produces the same bytes
     :func:`frame` would -- the encode-once contract the fast path rests
     on (asserted in tests against a decode/re-encode reference).
+
+    One buffer copy and two byte stores; the old three-slice splice
+    built four transient objects and copied the body twice.  ``raw``
+    may be ``bytes``, ``bytearray`` or a ``memoryview`` -- receive
+    paths that hold views into a larger buffer can patch without
+    materializing the frame first.
     """
-    return raw[:TTL_OFFSET] + bytes((ttl, hops)) + raw[HOPS_OFFSET + 1:]
+    patched = bytearray(raw)
+    patched[TTL_OFFSET] = ttl
+    patched[HOPS_OFFSET] = hops
+    return bytes(patched)
 
 
 class FrameCache:
@@ -404,26 +413,38 @@ class FrameCache:
     A servent that fans the same descriptor out -- originating to every
     ultrapeer, probing the mesh round after round in a dynamic query --
     used to call :func:`frame` (a full body re-encode) once per
-    recipient.  The cache keeps the last encoded body per GUID and
-    re-stamps only ttl/hops on reuse.  Reuse demands the *same message
-    object* (checked by identity, which is deterministic and never
-    hashes large payloads); a different message under a reused GUID
-    simply overwrites the entry.
+    recipient.  The cache keeps the encoded body per GUID plus a memo
+    of every ``(ttl, hops)`` variant already stamped: fanning a
+    descriptor out at the same ttl/hops -- the overwhelmingly common
+    case, since one forwarding decision feeds a whole neighbour loop
+    -- returns the exact cached ``bytes`` object, copying nothing.  A
+    new variant pays one buffer copy and two byte pokes
+    (:func:`patch_ttl_hops`), never a body re-encode or a three-slice
+    splice.  Reuse demands the *same message object* (checked by
+    identity, which is deterministic and never hashes large payloads);
+    a different message under a reused GUID simply overwrites the
+    entry.
 
-    ``hits``/``misses`` feed the ``bench_dataplane`` leg and make
-    fan-out savings observable in tests.
+    ``hits``/``misses``/``patches`` feed the ``bench_dataplane`` leg
+    and make both the encode-once and the patch-once savings
+    observable in tests.
     """
 
-    __slots__ = ("_entries", "capacity", "hits", "misses")
+    __slots__ = ("_entries", "capacity", "hits", "misses", "patches")
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
-        #: guid -> (message object, encoded frame bytes)
+        #: guid -> (message object, {(ttl, hops): encoded frame bytes}).
+        #: The variant map stays tiny: ttl+hops is bounded by protocol
+        #: rule, so a descriptor sees a handful of stampings at most.
         self._entries: dict = {}
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: header stampings that built a new variant buffer (a hit
+        #: that could not reuse a memoized stamping verbatim)
+        self.patches = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -441,12 +462,16 @@ class FrameCache:
         (guid, message) pair, cached or not.
         """
         entry = self._entries.get(guid)
+        key = (ttl, hops)
         if entry is not None and entry[0] is message:
             self.hits += 1
-            cached = entry[1]
-            if cached[TTL_OFFSET] == ttl and cached[HOPS_OFFSET] == hops:
-                return cached
-            return patch_ttl_hops(cached, ttl, hops)
+            variants = entry[1]
+            cached = variants.get(key)
+            if cached is None:
+                self.patches += 1
+                base = next(iter(variants.values()))
+                cached = variants[key] = patch_ttl_hops(base, ttl, hops)
+            return cached
         self.misses += 1
         encoded = frame(guid, message, ttl=ttl, hops=hops)
         entries = self._entries
@@ -455,7 +480,7 @@ class FrameCache:
             # oldest GUID -- the one least likely to fan out again --
             # goes first, deterministically
             del entries[next(iter(entries))]
-        entries[guid] = (message, encoded)
+        entries[guid] = (message, {key: encoded})
         return encoded
 
 

@@ -552,7 +552,7 @@ def decode_packet(raw: bytes):
     return decoder(payload)
 
 
-def parse_packet_header(raw: bytes) -> Tuple[int, int]:
+def parse_packet_header(raw) -> Tuple[int, int]:
     """``(command, payload_length)`` without decoding the payload.
 
     Applies exactly the framing checks :func:`decode_packet` applies
@@ -560,6 +560,11 @@ def parse_packet_header(raw: bytes) -> Tuple[int, int]:
     packet accepted here is a packet ``decode_packet`` would hand to a
     payload decoder.  Lazy receivers dispatch on the command and decode
     only when a handler needs payload fields.
+
+    ``raw`` may be ``bytes``, ``bytearray`` or a ``memoryview``:
+    ``struct.unpack_from`` reads the four header bytes straight out of
+    the underlying buffer, so a receiver holding a view into a larger
+    batch never materializes the packet just to dispatch on it.
     """
     if len(raw) < PACKET_HEADER_LENGTH:
         raise PacketError(f"short packet: {len(raw)} bytes")
@@ -573,12 +578,18 @@ def parse_packet_header(raw: bytes) -> Tuple[int, int]:
     return command, length
 
 
-def patch_search_ttl(raw: bytes, ttl: int) -> bytes:
+def patch_search_ttl(raw, ttl: int) -> bytes:
     """Re-stamp a framed SearchRequest's ttl without re-encoding.
 
     The ttl is the only field a forwarding SEARCH node changes, and it
-    sits at a fixed offset (search id is fixed-width), so splicing the
+    sits at a fixed offset (search id is fixed-width), so stamping the
     two ttl bytes produces the same bytes a decode/re-encode would.
+
+    One buffer copy plus an in-place ``struct.pack_into`` -- the old
+    three-slice splice built four transient objects and copied the
+    body twice.  ``raw`` may be ``bytes``, ``bytearray`` or a
+    ``memoryview``.
     """
-    return (raw[:SEARCH_TTL_OFFSET] + struct.pack(">H", ttl)
-            + raw[SEARCH_TTL_OFFSET + 2:])
+    patched = bytearray(raw)
+    struct.pack_into(">H", patched, SEARCH_TTL_OFFSET, ttl)
+    return bytes(patched)

@@ -46,6 +46,10 @@ class Event:
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
     args: Tuple[Any, ...] = field(default=(), compare=False)
+    #: owning bucket/slot cell in the tiered scheduler (see
+    #: :mod:`repro.simnet.sched`); None while heap-queued or after the
+    #: event fired.  The heap twin never reads or writes it.
+    _home: Any = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it."""
@@ -69,6 +73,10 @@ class EventQueue:
         self._live = 0
         self._dead = 0  # cancelled events still sitting in the heap
         self.compactions = 0
+        #: events ever cancelled through this queue (monotonic; the
+        #: tiered scheduler twin keeps the same counter, so telemetry
+        #: accounting is identical whichever scheduler a run used)
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         return self._live
@@ -85,15 +93,24 @@ class EventQueue:
         seq = next(self._counter)
         event = Event(time=time, seq=seq,
                       callback=callback, label=label, args=args)
+        event._home = self
         heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel ``event`` and keep the live count right (idempotent)."""
+        """Cancel ``event`` and keep the live count right (idempotent).
+
+        Cancelling an event that already fired (or was never queued
+        here) marks it but leaves the counters alone -- the scheduler
+        twins share this rule, so ``cancelled_total`` / ``dead_events``
+        agree whichever scheduler a run used.
+        """
         if not event.cancelled:
             event.cancel()
-            self.note_cancelled()
+            if event._home is self:
+                event._home = None
+                self.note_cancelled()
 
     def _discard_cancelled_head(self) -> None:
         """Drop cancelled events off the top of the heap.
@@ -115,6 +132,7 @@ class EventQueue:
             return None
         event = heapq.heappop(self._heap)[2]
         self._live -= 1
+        event._home = None
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -147,6 +165,7 @@ class EventQueue:
                 return None
             _heappop(heap)
             self._live -= 1
+            event._home = None
             return event
         return None
 
@@ -155,10 +174,20 @@ class EventQueue:
         """Cancelled events still occupying the heap (telemetry gauge)."""
         return self._dead
 
+    def iter_entries(self):
+        """Yield every queued ``(time, seq, event)`` entry, unordered.
+
+        Introspection for tests and debugging only -- both scheduler
+        twins expose it, so callers need not know which one a
+        ``Simulator`` picked.  Tombstoned entries are included.
+        """
+        yield from self._heap
+
     def note_cancelled(self) -> None:
         """Bookkeeping hook: callers invoke this after cancelling an event."""
         self._live -= 1
         self._dead += 1
+        self.cancelled_total += 1
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from . import fastpath
 from .clock import VirtualClock
 from .events import Event, EventQueue
 from .rng import SeededStream, StreamRegistry
+from .sched import TieredEventQueue
 
 __all__ = ["Simulator"]
 
@@ -27,7 +29,15 @@ class Simulator:
     def __init__(self, seed: int = 0, start_time: float = 0.0,
                  telemetry=None) -> None:
         self.clock = VirtualClock(start_time)
-        self.queue = EventQueue()
+        #: scheduler twins, selected once at construction (the PR 5
+        #: fastpath pattern): the tiered calendar-queue + timer-wheel
+        #: scheduler on the fast path, the reference binary heap on the
+        #: slow path.  Pop order is bit-identical either way -- proven
+        #: by run_equivalence_check and the differential tests.
+        if fastpath.slow_path_enabled():
+            self.queue = EventQueue()
+        else:
+            self.queue = TieredEventQueue()
         self.streams = StreamRegistry(seed)
         self.seed = seed
         self.events_processed = 0
@@ -105,6 +115,143 @@ class Simulator:
         """Stop the run loop after the current event returns."""
         self._halted = True
 
+    def _drain_windowed(self, end_time: float, limit: float) -> int:
+        """Drain loop twins for the tiered scheduler's window protocol.
+
+        ``TieredEventQueue._head`` leaves the cursor on a live head of
+        the activated (tombstone-filtered, sorted) window; between
+        ``_head`` calls these loops consume the window list by index --
+        two list indexings and an integer bump per event instead of a
+        ``pop_ready`` method call.  The riding is exact, not a replay
+        approximation:
+
+        * the queue cursor/counters (``_pos``/``_live`` and the home
+          cell's live count) are synced *before* every callback, so a
+          callback observes the same queue state ``pop_ready`` would
+          have left (``len(queue)``, gauges, ``peek_time``);
+        * a callback pushing into the active window bisect-inserts at
+          an index >= the synced cursor (its time is >= now), so the
+          re-read ``entries[pos]`` picks it up in exact heap order;
+        * cancels only flip tombstone flags, handled by the in-loop
+          skip (mirroring the heap's discard-dead-head rule, beyond
+          the horizon included);
+        * ``halt()`` and ``max_events`` are honoured per event, same
+          as the reference twins.
+        """
+        queue, clock = self.queue, self.clock
+        telemetry = self.telemetry
+        head = queue._head
+        processed = 0
+        if telemetry is None:
+            while not self._halted and processed < limit:
+                entry = head()
+                if entry is None or entry[0] > end_time:
+                    break
+                entries = queue._entries
+                pos = queue._pos
+                while True:
+                    event = entry[2]
+                    if event.cancelled:
+                        pos += 1
+                        if queue._dead > 0:
+                            queue._dead -= 1
+                    else:
+                        time = entry[0]
+                        if time > end_time:
+                            queue._pos = pos
+                            break
+                        if time < clock._now:
+                            raise ValueError(
+                                f"clock cannot run backwards: "
+                                f"now={clock._now!r}, target={time!r}")
+                        pos += 1
+                        queue._pos = pos
+                        queue._live -= 1
+                        home = event._home
+                        home.live -= 1
+                        event._home = None
+                        clock._now = time
+                        args = event.args
+                        if args:
+                            event.callback(*args)
+                        else:
+                            event.callback()
+                        processed += 1
+                        if self._halted or processed >= limit:
+                            break
+                    if pos < len(entries):
+                        entry = entries[pos]
+                    else:
+                        queue._pos = pos
+                        break
+        else:
+            # instrumented twins of the loop above; see the reference
+            # loops in run_until for what each knob does
+            from time import perf_counter
+
+            counts = telemetry.label_counts
+            counts_get = counts.get
+            sample_every = telemetry.sample_every
+            since_sample = telemetry.since_sample
+            on_event = getattr(telemetry, "on_event", None)
+            while not self._halted and processed < limit:
+                entry = head()
+                if entry is None or entry[0] > end_time:
+                    break
+                entries = queue._entries
+                pos = queue._pos
+                while True:
+                    event = entry[2]
+                    if event.cancelled:
+                        pos += 1
+                        if queue._dead > 0:
+                            queue._dead -= 1
+                    else:
+                        time = entry[0]
+                        if time > end_time:
+                            queue._pos = pos
+                            break
+                        if time < clock._now:
+                            raise ValueError(
+                                f"clock cannot run backwards: "
+                                f"now={clock._now!r}, target={time!r}")
+                        pos += 1
+                        queue._pos = pos
+                        queue._live -= 1
+                        home = event._home
+                        home.live -= 1
+                        event._home = None
+                        clock._now = time
+                        label = event.label
+                        counts[label] = counts_get(label, 0) + 1
+                        if on_event is not None:
+                            on_event(time, label)
+                        args = event.args
+                        since_sample += 1
+                        if since_sample >= sample_every:
+                            since_sample = 0
+                            started = perf_counter()
+                            if args:
+                                event.callback(*args)
+                            else:
+                                event.callback()
+                            telemetry.observe_callback(
+                                label, perf_counter() - started)
+                        elif args:
+                            event.callback(*args)
+                        else:
+                            event.callback()
+                        processed += 1
+                        if self._halted or processed >= limit:
+                            break
+                    if pos < len(entries):
+                        entry = entries[pos]
+                    else:
+                        queue._pos = pos
+                        break
+            telemetry.since_sample = since_sample
+        return processed
+
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Process events up to and including virtual ``end_time``.
 
@@ -125,7 +272,12 @@ class Simulator:
         # closure: ``callback(*args)``.
         pop_ready = queue.pop_ready
         limit = float("inf") if max_events is None else max_events
-        if telemetry is None:
+        if getattr(queue, "windowed", False):
+            # tiered scheduler: ride the sorted window by index instead
+            # of paying a pop_ready call per event (the loop twins below
+            # stay verbatim as the heap reference path)
+            processed = self._drain_windowed(end_time, limit)
+        elif telemetry is None:
             while not self._halted and processed < limit:
                 event = pop_ready(end_time)
                 if event is None:

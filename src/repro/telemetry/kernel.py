@@ -56,10 +56,25 @@ class KernelTelemetry:
             "sim_queue_depth", "Live events waiting in the queue.")
         self._queue_dead = self.registry.gauge(
             "sim_queue_dead_events",
-            "Cancelled events still occupying the heap.")
+            "Cancelled events still occupying the scheduler.")
         self._compactions = self.registry.gauge(
             "sim_queue_compactions",
-            "Heap compactions performed since the queue was created.")
+            "Bulk tombstone purges (heap rebuilds / whole-cell drops) "
+            "since the queue was created.")
+        self._cancelled = self.registry.gauge(
+            "sim_queue_cancelled_total",
+            "Events ever cancelled through the queue (monotonic; "
+            "identical across scheduler twins).")
+        # per-tier depth split of sim_queue_depth, populated only by
+        # the tiered scheduler (the heap twin reports zeros: one tier,
+        # no split to report)
+        self._near_depth = self.registry.gauge(
+            "sim_queue_near_depth",
+            "Live events in the tiered scheduler's calendar window.")
+        self._wheel_depth = self.registry.gauge(
+            "sim_queue_wheel_depth",
+            "Live events in the tiered scheduler's wheel levels "
+            "and overflow.")
         self._virtual_time = self.registry.gauge(
             "sim_virtual_time_seconds", "Current virtual clock reading.")
 
@@ -84,4 +99,9 @@ class KernelTelemetry:
         self._queue_depth.set(len(queue))
         self._queue_dead.set(queue.dead_events)
         self._compactions.set(queue.compactions)
+        self._cancelled.set(getattr(queue, "cancelled_total", 0))
+        # duck-typed like everything else here: only the tiered
+        # scheduler has tiers to report
+        self._near_depth.set(getattr(queue, "near_depth", 0))
+        self._wheel_depth.set(getattr(queue, "wheel_depth", 0))
         self._virtual_time.set(sim.now)

@@ -45,6 +45,21 @@ class TestPatchTtlHops:
         assert patched[HEADER_LENGTH:] == raw[HEADER_LENGTH:]
         assert patched[:GUID_LENGTH + 1] == raw[:GUID_LENGTH + 1]
 
+    def test_accepts_memoryview_without_materializing(self):
+        # receive paths holding a view into a larger buffer patch
+        # straight through it
+        raw = frame(GUID_A, _query(), ttl=5, hops=2)
+        view = memoryview(b"junk" + raw + b"junk")[4:4 + len(raw)]
+        assert patch_ttl_hops(view, 4, 3) == patch_ttl_hops(raw, 4, 3)
+        assert isinstance(patch_ttl_hops(view, 4, 3), bytes)
+
+    def test_out_of_range_values_rejected(self):
+        raw = frame(GUID_A, _query(), ttl=5, hops=2)
+        with pytest.raises(ValueError):
+            patch_ttl_hops(raw, 256, 0)
+        with pytest.raises(ValueError):
+            patch_ttl_hops(raw, 0, -1)
+
 
 class TestParseHeader:
     def test_accepts_what_parse_frame_accepts(self):
@@ -115,3 +130,25 @@ class TestFrameCache:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             FrameCache(capacity=0)
+
+    def test_repeat_stamping_returns_cached_object(self):
+        # the variant memo: fanning out at the same (ttl, hops) must
+        # return the exact cached bytes object -- zero copies
+        cache = FrameCache()
+        query = _query()
+        cache.frame(GUID_A, query, ttl=7, hops=0)
+        first = cache.frame(GUID_A, query, ttl=6, hops=1)
+        assert cache.patches == 1
+        for _ in range(3):
+            assert cache.frame(GUID_A, query, ttl=6, hops=1) is first
+        assert cache.patches == 1  # stamped once, reused thereafter
+
+    def test_variants_are_byte_identical_to_frame(self):
+        cache = FrameCache()
+        query = _query()
+        stampings = ((7, 0), (6, 1), (7, 0), (5, 2), (6, 1))
+        for ttl, hops in stampings:
+            assert cache.frame(GUID_A, query, ttl=ttl, hops=hops) == \
+                frame(GUID_A, query, ttl=ttl, hops=hops)
+        assert cache.misses == 1  # body encoded exactly once
+        assert cache.patches == 2  # two new stampings beyond the first

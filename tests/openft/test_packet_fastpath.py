@@ -37,6 +37,11 @@ class TestParsePacketHeader:
         with pytest.raises(PacketError):
             parse_packet_header(raw)
 
+    def test_accepts_memoryview_without_materializing(self):
+        raw = encode_packet(_search())
+        view = memoryview(b"xx" + raw + b"yy")[2:2 + len(raw)]
+        assert parse_packet_header(view) == parse_packet_header(raw)
+
     def test_search_id_lives_at_fixed_offset(self):
         raw = encode_packet(_search())
         search_id = struct.unpack_from(">I", raw, SEARCH_ID_OFFSET)[0]
@@ -61,3 +66,14 @@ class TestPatchSearchTtl:
         assert patched[:SEARCH_TTL_OFFSET] == raw[:SEARCH_TTL_OFFSET]
         assert patched[SEARCH_TTL_OFFSET + 2:] == raw[SEARCH_TTL_OFFSET + 2:]
         assert decode_packet(patched).ttl == 4
+
+    def test_accepts_memoryview_without_materializing(self):
+        raw = encode_packet(_search(ttl=5))
+        view = memoryview(b"xx" + raw + b"yy")[2:2 + len(raw)]
+        assert patch_search_ttl(view, 4) == patch_search_ttl(raw, 4)
+        assert isinstance(patch_search_ttl(view, 4), bytes)
+
+    def test_out_of_range_ttl_rejected(self):
+        raw = encode_packet(_search(ttl=5))
+        with pytest.raises(struct.error):
+            patch_search_ttl(raw, 0x10000)

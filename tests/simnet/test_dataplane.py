@@ -115,7 +115,7 @@ class TestSendMany:
         transport.attach("src", lambda e: None)
         transport.attach("dst", lambda e: None)
         transport.send("src", "dst", b"x")
-        labels = {entry[2].label for entry in sim.queue._heap}
+        labels = {entry[2].label for entry in sim.queue.iter_entries()}
         assert labels == {DELIVER_LABEL}
         assert DELIVER_LABEL == "deliver"  # bounded, population-free
 
