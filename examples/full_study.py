@@ -15,11 +15,16 @@ Prometheus metrics plus span chains are dumped alongside when each
 campaign finishes (replications get per-seed files plus a merged
 textfile).
 
+With ``--serve-port P`` (requires ``--telemetry-dir``) the whole study
+is observable live over HTTP while it runs: an HTML dashboard at ``/``,
+Prometheus ``/metrics``, journal tails and trace/hotspot endpoints.
+The server is read-only -- results are identical with it on or off.
+
 Usage::
 
     python examples/full_study.py [--days N] [--seed S] [--out DIR]
                                   [--replicate N] [--workers W]
-                                  [--telemetry-dir DIR]
+                                  [--telemetry-dir DIR] [--serve-port P]
 """
 
 import argparse
@@ -33,7 +38,8 @@ from repro.core.experiments import run_replications
 from repro.core.filtering import (ExistingLimewireFilter, SizeBasedFilter,
                                   evaluate_filters)
 from repro.malware.corpus import limewire_strains
-from repro.telemetry import CampaignTelemetry
+from repro.telemetry import (CampaignTelemetry, ObservatoryHub,
+                             TelemetryServer)
 
 
 def main() -> None:
@@ -52,7 +58,13 @@ def main() -> None:
     parser.add_argument("--telemetry-dir", type=Path, default=None,
                         help="instrument the campaigns and dump "
                              "journal/metrics/spans here")
+    parser.add_argument("--serve-port", type=int, default=None,
+                        help="watch the study live over HTTP while it "
+                             "runs (0 = ephemeral port; requires "
+                             "--telemetry-dir)")
     args = parser.parse_args()
+    if args.serve_port is not None and args.telemetry_dir is None:
+        parser.error("--serve-port requires --telemetry-dir")
 
     def telemetry_for(name):
         if args.telemetry_dir is None:
@@ -65,11 +77,24 @@ def main() -> None:
     print(f"collecting {args.days} virtual days per network "
           f"(seed={args.seed})...")
     limewire_telemetry = telemetry_for("limewire")
-    limewire = run_limewire_campaign(config, telemetry=limewire_telemetry)
-    print(f"  limewire: {len(limewire.store)} responses")
     openft_telemetry = telemetry_for("openft")
-    openft = run_openft_campaign(config, telemetry=openft_telemetry)
-    print(f"  openft:   {len(openft.store)} responses")
+    server = None
+    if args.serve_port is not None:
+        hub = ObservatoryHub(title="full study")
+        hub.set_status(seed=args.seed, days=args.days)
+        hub.add_campaign("limewire", limewire_telemetry)
+        hub.add_campaign("openft", openft_telemetry)
+        server = TelemetryServer(hub, port=args.serve_port).start()
+        print(f"  observability endpoint: {server.url}")
+    try:
+        limewire = run_limewire_campaign(config,
+                                         telemetry=limewire_telemetry)
+        print(f"  limewire: {len(limewire.store)} responses")
+        openft = run_openft_campaign(config, telemetry=openft_telemetry)
+        print(f"  openft:   {len(openft.store)} responses")
+    finally:
+        if server is not None:
+            server.stop()
     for name, bundle in (("limewire", limewire_telemetry),
                          ("openft", openft_telemetry)):
         if bundle is not None:
@@ -112,9 +137,12 @@ def main() -> None:
         print(f"\nreplicating over seeds {list(seeds)} "
               f"(parallel workers={args.workers or 'auto'})...")
         for network in ("limewire", "openft"):
-            report = run_replications(network, seeds, config,
-                                      workers=args.workers,
-                                      telemetry_dir=args.telemetry_dir)
+            report = run_replications(
+                network, seeds, config, workers=args.workers,
+                telemetry_dir=args.telemetry_dir,
+                serve_port=args.serve_port,
+                on_serve=lambda url: print(
+                    f"observability endpoint: {url}"))
             print()
             print(report.render())
             if report.telemetry_path is not None:

@@ -5,10 +5,13 @@ Prints a metric-by-metric table (baseline vs current, % change) and
 flags regressions: a throughput metric that dropped, or a wall-clock
 metric that grew, by more than ``--threshold`` percent.  With
 ``--strict`` a flagged regression makes the script exit non-zero, so CI
-can gate on it.  ``--assert-overhead PCT`` additionally bounds every
+can gate on it.  ``--assert-overhead`` additionally bounds every
 ``*_overhead_pct`` metric of the *current* run by an absolute budget
-(telemetry attach cost, idle fault-harness cost) and always fails on a
-breach, strict or not.
+(telemetry attach cost, idle fault-harness cost, observability-plane
+cost) and always fails on a breach, strict or not; a bare number sets
+the default budget and repeated ``NAME=PCT`` values pin individual
+metrics (e.g. ``--assert-overhead 30 --assert-overhead
+observability_overhead_pct=10``).
 
 Usage::
 
@@ -46,6 +49,9 @@ DIRECTIONS = {
     "chaos_off_s": False,
     "chaos_armed_s": False,
     "chaos_idle_overhead_pct": False,
+    "observability_off_s": False,
+    "observability_on_s": False,
+    "observability_overhead_pct": False,
     "replication_serial_s": False,
     "replication_parallel_s": False,
     "replication_speedup": True,
@@ -92,6 +98,25 @@ def compare(baseline: dict, current: dict, threshold: float):
         yield metric, float(old), float(new), pct, regressed
 
 
+def parse_overhead_budgets(specs):
+    """(default budget, per-metric overrides) from repeated flag values.
+
+    Mirrors benchmarks/baseline.py: a bare number is the default budget
+    for every ``*_overhead_pct`` metric, ``NAME=PCT`` pins one metric;
+    with only overrides given, un-named metrics are not gated.
+    """
+    default_budget = None
+    per_metric = {}
+    for spec in specs:
+        spec = str(spec)
+        if "=" in spec:
+            name, _, value = spec.partition("=")
+            per_metric[name.strip()] = float(value)
+        else:
+            default_budget = float(spec)
+    return default_budget, per_metric
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path, nargs="?")
@@ -105,12 +130,14 @@ def main(argv=None) -> int:
                         help="percent change that counts as a regression")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any tracked metric regressed")
-    parser.add_argument("--assert-overhead", type=float, default=None,
-                        metavar="PCT",
+    parser.add_argument("--assert-overhead", action="append",
+                        default=None, metavar="PCT|NAME=PCT",
                         help="exit 1 when any *_overhead_pct metric in "
-                             "the CURRENT results exceeds PCT percent "
-                             "(absolute budget, independent of the "
-                             "baseline)")
+                             "the CURRENT results exceeds its budget "
+                             "(absolute, independent of the baseline). "
+                             "A bare number is the default budget; "
+                             "NAME=PCT pins one metric (repeat the "
+                             "flag to combine)")
     args = parser.parse_args(argv)
 
     if args.baseline and args.current:
@@ -147,15 +174,19 @@ def main(argv=None) -> int:
         if regressed:
             regressions.append(metric)
     over_budget = []
-    if args.assert_overhead is not None:
+    if args.assert_overhead:
+        default_budget, per_metric = parse_overhead_budgets(
+            args.assert_overhead)
         for metric, value in sorted(current["results"].items()):
-            if (metric.endswith("_overhead_pct")
-                    and isinstance(value, (int, float))
-                    and value > args.assert_overhead):
-                over_budget.append(f"{metric} {value:.1f}%")
+            if (not metric.endswith("_overhead_pct")
+                    or not isinstance(value, (int, float))):
+                continue
+            budget = per_metric.get(metric, default_budget)
+            if budget is not None and value > budget:
+                over_budget.append(
+                    f"{metric} {value:.1f}% (budget {budget:g}%)")
         if over_budget:
-            print(f"\noverhead budget {args.assert_overhead:g}% "
-                  f"exceeded: {', '.join(over_budget)}")
+            print(f"\noverhead budget exceeded: {', '.join(over_budget)}")
     if regressions:
         print(f"\n{len(regressions)} regression(s) past "
               f"{args.threshold:g}%: {', '.join(regressions)}")

@@ -8,13 +8,20 @@ The subcommands mirror the study's workflow::
     repro-study analyze   data/limewire.jsonl --table all
     repro-study filter-eval data/limewire.jsonl
     repro-study telemetry --network limewire --days 1 --out telemetry/
+    repro-study serve     --network limewire --days 1 --port 8000
+    repro-study hotspots  --network limewire --days 0.1
     repro-study lint      --strict
     repro-study selfcheck --seeds 2
 
 ``run`` simulates the campaigns and writes raw measurement stores as
 JSON-lines; ``replicate`` runs the same campaign under several seeds
 (fanned out over worker processes) and prints the headline-metric
-ranges; ``analyze`` recomputes any table/figure from a saved store
+ranges; ``serve`` runs an instrumented campaign with the live
+observability plane attached (HTML dashboard, ``/metrics``, journal
+tail, trace and hotspot endpoints -- also available on ``replicate``
+and ``telemetry`` via ``--serve-port``); ``hotspots`` prints where the
+kernel's wall time went, from the always-on sampled callback
+histograms; ``analyze`` recomputes any table/figure from a saved store
 (no re-simulation); ``filter-eval`` compares the existing-Limewire
 baseline against the size-based filter on a saved store; ``telemetry``
 runs a fully instrumented campaign and dumps its Prometheus metrics,
@@ -103,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="JSONL journal of completed seeds; an "
                                 "interrupted campaign rerun with the same "
                                 "path resumes instead of recomputing")
+    replicate.add_argument("--journal-interval", type=float, default=None,
+                           help="virtual seconds between journal snapshots "
+                                "(default: horizon/100 clamped to "
+                                "[1s, 3600s]; pass 3600 for the fixed "
+                                "hourly cadence)")
+    replicate.add_argument("--serve-port", type=int, default=None,
+                           help="serve the fan-out live on one aggregated "
+                                "observability endpoint (0 = ephemeral "
+                                "port; requires --telemetry-dir)")
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -145,11 +161,76 @@ def build_parser() -> argparse.ArgumentParser:
                            help="directory for <network>_metrics.prom, "
                                 "<network>_spans.jsonl and "
                                 "<network>_journal.jsonl")
-    telemetry.add_argument("--journal-interval", type=float, default=3600.0,
-                           help="virtual seconds between journal snapshots")
+    telemetry.add_argument("--journal-interval", type=float, default=None,
+                           help="virtual seconds between journal snapshots "
+                                "(default: horizon/100 clamped to "
+                                "[1s, 3600s]; pass 3600 for the fixed "
+                                "hourly cadence of earlier runs)")
     telemetry.add_argument("--sample-every", type=int, default=64,
                            help="sample one in N event callbacks for "
                                 "wall-time histograms")
+    telemetry.add_argument("--serve-port", type=int, default=None,
+                           help="also expose the campaign(s) live over "
+                                "HTTP while they run (0 = ephemeral port)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run an instrumented campaign with the live observability "
+             "plane: HTML dashboard, /metrics, journal tail, trace and "
+             "hotspot endpoints")
+    serve.add_argument("--network", choices=("limewire", "openft"),
+                       default="limewire")
+    serve.add_argument("--days", type=float, default=1.0,
+                       help="virtual days to measure")
+    serve.add_argument("--seed", type=int, default=2)
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="population scale factor")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="HTTP port (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--out", type=Path, default=Path("serve_output"),
+                       help="directory for the journal and final outputs")
+    serve.add_argument("--journal-interval", type=float, default=None,
+                       help="virtual seconds between journal snapshots "
+                            "(default: horizon/100 clamped to [1s, 3600s])")
+    serve.add_argument("--sample-every", type=int, default=64,
+                       help="sample one in N event callbacks for "
+                            "wall-time histograms")
+    serve.add_argument("--linger", type=float, default=0.0,
+                       help="keep serving this many wall seconds after "
+                            "the campaign finishes (browse the final "
+                            "state; ctrl-C to stop early)")
+    serve.add_argument("--verify", action="store_true",
+                       help="prove the server is off the hot path: scrape "
+                            "/healthz and /metrics from a background "
+                            "thread mid-run, then re-run server-off and "
+                            "assert the event digest and store sha256 "
+                            "are identical")
+
+    hotspots = subparsers.add_parser(
+        "hotspots",
+        help="per-label kernel hotspot report from the sampled callback "
+             "wall-time histograms (run a campaign, or read a saved "
+             "registry snapshot)")
+    hotspots.add_argument("--network", choices=("limewire", "openft"),
+                          default="limewire")
+    hotspots.add_argument("--days", type=float, default=0.1,
+                          help="virtual days to simulate")
+    hotspots.add_argument("--seed", type=int, default=2)
+    hotspots.add_argument("--scale", type=float, default=0.35,
+                          help="population scale factor")
+    hotspots.add_argument("--sample-every", type=int, default=64,
+                          help="sample one in N event callbacks")
+    hotspots.add_argument("--top", type=int, default=15,
+                          help="hotspot rows to print")
+    hotspots.add_argument("--json", type=Path, default=None,
+                          help="also write the machine-readable report "
+                               "here")
+    hotspots.add_argument("--snapshot", type=Path, default=None,
+                          help="build the report from a saved registry "
+                               "snapshot JSON (e.g. a served "
+                               "/snapshot.json body) instead of running "
+                               "a campaign")
 
     lint = subparsers.add_parser(
         "lint",
@@ -246,6 +327,10 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
+    if args.serve_port is not None and args.telemetry_dir is None:
+        print("error: --serve-port requires --telemetry-dir",
+              file=sys.stderr)
+        return 2
     seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
     workers = resolve_workers(args.workers, len(seeds))
     config = CampaignConfig(duration_days=args.days)
@@ -256,7 +341,11 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
                               workers=workers,
                               telemetry_dir=args.telemetry_dir,
                               sanitize=args.sanitize,
-                              checkpoint=args.checkpoint)
+                              checkpoint=args.checkpoint,
+                              journal_interval_s=args.journal_interval,
+                              serve_port=args.serve_port,
+                              on_serve=lambda url: print(
+                                  f"observability endpoint: {url}"))
     print(report.render())
     if report.telemetry_path is not None:
         print(f"\nmerged telemetry ({len(report.registry)} metrics) "
@@ -301,25 +390,171 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         campaigns.append(("limewire", run_limewire_campaign))
     if args.network in ("openft", "both"):
         campaigns.append(("openft", run_openft_campaign))
-    for name, runner in campaigns:
-        telemetry = CampaignTelemetry.for_directory(
+    bundles = {
+        name: CampaignTelemetry.for_directory(
             args.out, name, journal_interval_s=args.journal_interval,
             sample_every=args.sample_every)
-        print(f"running instrumented {name} campaign "
-              f"({args.days:g} virtual days, seed {args.seed})...")
-        print(f"  journal: tail -f {telemetry.journal.path}")
-        result = runner(config, telemetry=telemetry)
-        written = telemetry.write_outputs(args.out, name)
-        registry, tracer = telemetry.registry, telemetry.tracer
-        events = registry.get("sim_events_total")
-        print(f"  {len(result.store)} responses, "
-              f"{int(events.value) if events else 0} kernel events, "
-              f"{result.engine.cache_hit_rate:.1%} scan cache hit rate")
-        print(f"  {len(registry.metric_names())} metrics, "
-              f"{len(tracer)} spans "
-              f"({len(tracer.spans('query'))} query chains)")
+        for name, _runner in campaigns}
+    server = None
+    if args.serve_port is not None:
+        from .telemetry.httpd import ObservatoryHub, TelemetryServer
+        hub = ObservatoryHub(title=f"telemetry ({args.network})")
+        hub.set_status(seed=args.seed, days=args.days)
+        for name, telemetry in bundles.items():
+            hub.add_campaign(name, telemetry)
+        server = TelemetryServer(hub, port=args.serve_port).start()
+        print(f"observability endpoint: {server.url}")
+    try:
+        for name, runner in campaigns:
+            telemetry = bundles[name]
+            print(f"running instrumented {name} campaign "
+                  f"({args.days:g} virtual days, seed {args.seed})...")
+            print(f"  journal: tail -f {telemetry.journal.path}")
+            result = runner(config, telemetry=telemetry)
+            written = telemetry.write_outputs(args.out, name)
+            registry, tracer = telemetry.registry, telemetry.tracer
+            events = registry.get("sim_events_total")
+            print(f"  {len(result.store)} responses, "
+                  f"{int(events.value) if events else 0} kernel events, "
+                  f"{result.engine.cache_hit_rate:.1%} scan cache hit rate")
+            print(f"  {len(registry.metric_names())} metrics, "
+                  f"{len(tracer)} spans "
+                  f"({len(tracer.spans('query'))} query chains)")
+            for kind, path in sorted(written.items()):
+                print(f"  {kind}: {path}")
+    finally:
+        if server is not None:
+            server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+    import urllib.request
+
+    from .core.measure.campaign import default_profile
+    from .telemetry import CampaignTelemetry
+    from .telemetry.httpd import ObservatoryHub, TelemetryServer
+
+    runner = (run_limewire_campaign if args.network == "limewire"
+              else run_openft_campaign)
+    population = default_profile(args.network, args.scale)
+    config = CampaignConfig(seed=args.seed, duration_days=args.days)
+    telemetry = CampaignTelemetry.for_directory(
+        args.out, args.network, journal_interval_s=args.journal_interval,
+        sample_every=args.sample_every)
+    digest = None
+    if args.verify:
+        # deferred on purpose: devtools sits above core in the layer
+        # DAG and only opt-in verification reaches up into it
+        from .devtools.selfcheck import EventDigest
+        digest = EventDigest()
+        telemetry.kernel.on_event = digest.on_event
+
+    hub = ObservatoryHub(title=f"{args.network} campaign")
+    hub.set_status(network=args.network, seed=args.seed, days=args.days,
+                   scale=args.scale)
+    hub.add_campaign(args.network, telemetry)
+    server = TelemetryServer(hub, host=args.host, port=args.port).start()
+    print(f"serving {server.url} (dashboard; /metrics, /healthz, "
+          f"/snapshot.json, /journal, /trace.json, /hotspots.json)")
+
+    scraped = {"healthz": 0, "metrics": 0}
+    stop_scraping = threading.Event()
+
+    def scrape_loop() -> None:
+        # the --verify scraper: hammer the endpoints while the campaign
+        # runs so the digest comparison below covers concurrent reads
+        while not stop_scraping.is_set():
+            for route in ("healthz", "metrics"):
+                try:
+                    with urllib.request.urlopen(server.url + route,
+                                                timeout=5) as response:
+                        if response.status == 200:
+                            scraped[route] += 1
+                except OSError:
+                    pass
+            stop_scraping.wait(0.2)
+
+    scraper = None
+    if args.verify:
+        scraper = threading.Thread(target=scrape_loop, daemon=True)
+        scraper.start()
+    try:
+        print(f"running {args.network} campaign ({args.days:g} virtual "
+              f"days, seed {args.seed}, scale {args.scale:g})...")
+        result = runner(config, profile=population, telemetry=telemetry)
+        written = telemetry.write_outputs(args.out, args.network)
+        print(f"  {len(result.store)} responses collected")
         for kind, path in sorted(written.items()):
             print(f"  {kind}: {path}")
+        if args.linger > 0:
+            print(f"serving final state for {args.linger:g}s more "
+                  f"at {server.url} ...")
+            try:
+                threading.Event().wait(args.linger)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        stop_scraping.set()
+        if scraper is not None:
+            scraper.join(timeout=5)
+        server.stop()
+
+    if not args.verify:
+        return 0
+    print(f"verify: scraped /healthz x{scraped['healthz']}, "
+          f"/metrics x{scraped['metrics']} during the run")
+    if not scraped["healthz"] or not scraped["metrics"]:
+        print("error: verify run finished before both endpoints were "
+              "scraped; use a longer --days", file=sys.stderr)
+        return 1
+    from .devtools.selfcheck import EventDigest
+    baseline_digest = EventDigest()
+    baseline_telemetry = CampaignTelemetry.for_directory(
+        args.out, f"{args.network}_serveroff",
+        journal_interval_s=args.journal_interval,
+        sample_every=args.sample_every)
+    baseline_telemetry.kernel.on_event = baseline_digest.on_event
+    print("verify: re-running the same campaign with the server off...")
+    baseline = runner(config, profile=population,
+                      telemetry=baseline_telemetry)
+    digest_ok = digest.hexdigest() == baseline_digest.hexdigest()
+    store_ok = (result.store.content_digest()
+                == baseline.store.content_digest())
+    print(f"  event digest: {'identical' if digest_ok else 'DIVERGED'}")
+    print(f"  store sha256: {'identical' if store_ok else 'DIVERGED'}")
+    return 0 if digest_ok and store_ok else 1
+
+
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    from .telemetry.profiler import HotspotReport
+
+    if args.snapshot is not None:
+        import json as _json
+        if not args.snapshot.exists():
+            print(f"error: snapshot {args.snapshot} does not exist",
+                  file=sys.stderr)
+            return 2
+        report = HotspotReport.from_snapshot(
+            _json.loads(args.snapshot.read_text(encoding="utf-8")))
+    else:
+        from .core.measure.campaign import default_profile
+        from .telemetry import CampaignTelemetry
+        runner = (run_limewire_campaign if args.network == "limewire"
+                  else run_openft_campaign)
+        population = default_profile(args.network, args.scale)
+        config = CampaignConfig(seed=args.seed, duration_days=args.days)
+        telemetry = CampaignTelemetry(sample_every=args.sample_every)
+        print(f"profiling {args.network} campaign ({args.days:g} virtual "
+              f"days, seed {args.seed}, scale {args.scale:g}, 1-in-"
+              f"{args.sample_every} callback sampling)...")
+        runner(config, profile=population, telemetry=telemetry)
+        report = HotspotReport.from_registry(telemetry.registry)
+    print(report.render(top=args.top))
+    if args.json is not None:
+        report.to_json(args.json)
+        print(f"\nmachine-readable report -> {args.json}")
     return 0
 
 
@@ -507,6 +742,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "replicate": _cmd_replicate, "chaos": _cmd_chaos,
                 "filter-eval": _cmd_filter_eval, "export": _cmd_export,
                 "telemetry": _cmd_telemetry, "profile": _cmd_profile,
+                "serve": _cmd_serve, "hotspots": _cmd_hotspots,
                 "lint": _cmd_lint, "selfcheck": _cmd_selfcheck}
     return handlers[args.command](args)
 

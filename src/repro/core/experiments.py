@@ -122,7 +122,8 @@ class ReplicationReport:
 
 def replicate_one(network: str, config: CampaignConfig, profile,
                   seed: int, telemetry_dir: Optional[Path] = None,
-                  sanitize: bool = False, attempt: int = 0):
+                  sanitize: bool = False, attempt: int = 0,
+                  journal_interval_s: Optional[float] = None):
     """Run one seed's campaign and return its headline metric values.
 
     Top-level (and therefore picklable) on purpose: this is the unit of
@@ -153,7 +154,8 @@ def replicate_one(network: str, config: CampaignConfig, profile,
     telemetry = None
     if telemetry_dir is not None:
         telemetry = CampaignTelemetry.for_directory(
-            Path(telemetry_dir), f"{network}_seed{seed}")
+            Path(telemetry_dir), f"{network}_seed{seed}",
+            journal_interval_s=journal_interval_s)
     if sanitize:
         # deferred on purpose: devtools sits above core in the layer
         # DAG, and only this opt-in path reaches up into it (declared
@@ -190,7 +192,9 @@ class _SeedOutcome:
 
 def _guarded_replicate(network: str, config: CampaignConfig, profile,
                        seed_attempt, telemetry_dir=None,
-                       sanitize: bool = False) -> _SeedOutcome:
+                       sanitize: bool = False,
+                       journal_interval_s: Optional[float] = None,
+                       ) -> _SeedOutcome:
     """Run one seed, converting any crash into a reportable outcome.
 
     Top-level and picklable, like :func:`replicate_one`.  A worker
@@ -202,7 +206,8 @@ def _guarded_replicate(network: str, config: CampaignConfig, profile,
     try:
         result = replicate_one(network, config, profile, seed,
                                telemetry_dir=telemetry_dir,
-                               sanitize=sanitize, attempt=attempt)
+                               sanitize=sanitize, attempt=attempt,
+                               journal_interval_s=journal_interval_s)
     except Exception:
         return _SeedOutcome(seed=seed, attempt=attempt, ok=False,
                             error=traceback.format_exc())
@@ -293,6 +298,10 @@ def run_replications(network: str, seeds: Sequence[int],
                      telemetry_dir: Optional[Path] = None,
                      sanitize: bool = False,
                      checkpoint: Optional[Path] = None,
+                     journal_interval_s: Optional[float] = None,
+                     serve_port: Optional[int] = None,
+                     serve_host: str = "127.0.0.1",
+                     on_serve: Optional[Callable[[str], None]] = None,
                      ) -> ReplicationReport:
     """Run one campaign per seed and summarize the headline metrics.
 
@@ -320,9 +329,20 @@ def run_replications(network: str, seeds: Sequence[int],
     :class:`CheckpointJournal` file: completed seeds are persisted as
     they land and skipped on the next invocation, so an interrupted
     campaign resumes instead of recomputing.
+
+    ``serve_port`` (requires ``telemetry_dir``) exposes the fan-out
+    live on one aggregated observability endpoint: every seed's
+    journal is tailed and every finished worker's registry snapshot
+    merges into ``/metrics`` in seed order.  ``port=0`` binds an
+    ephemeral port; ``on_serve(url)`` fires once the server is up.
+    The server is read-only -- results are bit-identical with it on
+    or off.
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
+    if serve_port is not None and telemetry_dir is None:
+        raise ValueError("serve_port requires telemetry_dir (the served "
+                         "journals and snapshots live there)")
     metric_fns = HEADLINE_METRICS[network]
     seeds = list(seeds)
     journal = None
@@ -337,32 +357,60 @@ def run_replications(network: str, seeds: Sequence[int],
             if entry is not None:
                 completed[seed] = (entry["metrics"], entry.get("snapshot"))
 
+    server = None
+    hub = None
+    if serve_port is not None:
+        # deferred on purpose: the server is opt-in and pulls in the
+        # whole HTTP stack; replications without it never pay for it
+        from ..telemetry.httpd import ObservatoryHub, TelemetryServer
+        hub = ObservatoryHub(title=f"{network} replications")
+        hub.set_status(network=network, seeds=list(seeds),
+                       workers=workers)
+        for seed in seeds:
+            hub.add_journal(
+                f"{network}_seed{seed}",
+                Path(telemetry_dir) / f"{network}_seed{seed}_journal.jsonl")
+        for seed, (_metrics, snapshot) in sorted(completed.items()):
+            if snapshot:
+                hub.record_snapshot(seed, snapshot)
+        server = TelemetryServer(hub, host=serve_host,
+                                 port=serve_port).start()
+        if on_serve is not None:
+            on_serve(server.url)
+
     def on_result(seed_attempt, outcome: _SeedOutcome) -> None:
         if journal is not None and outcome.ok:
             journal.record(outcome.seed, outcome.metrics, outcome.snapshot)
+        if hub is not None and outcome.ok and outcome.snapshot:
+            hub.record_snapshot(outcome.seed, outcome.snapshot)
 
     worker = functools.partial(_guarded_replicate, network, config, profile,
                                telemetry_dir=telemetry_dir,
-                               sanitize=sanitize)
+                               sanitize=sanitize,
+                               journal_interval_s=journal_interval_s)
     pending = [seed for seed in seeds if seed not in completed]
-    outcomes = parallel_map(worker, [(seed, 0) for seed in pending],
-                            workers=workers, on_result=on_result)
-    to_retry: List[int] = []
-    for outcome in outcomes:
-        if outcome.ok:
-            completed[outcome.seed] = (outcome.metrics, outcome.snapshot)
-        else:
-            to_retry.append(outcome.seed)
-    failures: Dict[int, _SeedOutcome] = {}
-    if to_retry:
-        retried = parallel_map(worker, [(seed, 1) for seed in to_retry],
-                               workers=workers, on_result=on_result)
-        for outcome in retried:
+    try:
+        outcomes = parallel_map(worker, [(seed, 0) for seed in pending],
+                                workers=workers, on_result=on_result)
+        to_retry: List[int] = []
+        for outcome in outcomes:
             if outcome.ok:
-                completed[outcome.seed] = (outcome.metrics,
-                                           outcome.snapshot)
+                completed[outcome.seed] = (outcome.metrics, outcome.snapshot)
             else:
-                failures[outcome.seed] = outcome
+                to_retry.append(outcome.seed)
+        failures: Dict[int, _SeedOutcome] = {}
+        if to_retry:
+            retried = parallel_map(worker, [(seed, 1) for seed in to_retry],
+                                   workers=workers, on_result=on_result)
+            for outcome in retried:
+                if outcome.ok:
+                    completed[outcome.seed] = (outcome.metrics,
+                                               outcome.snapshot)
+                else:
+                    failures[outcome.seed] = outcome
+    finally:
+        if server is not None:
+            server.stop()
     survivors = [seed for seed in seeds if seed in completed]
     if not survivors:
         first = failures[seeds[0]] if seeds[0] in failures else (

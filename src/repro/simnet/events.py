@@ -174,6 +174,22 @@ class EventQueue:
         """Cancelled events still occupying the heap (telemetry gauge)."""
         return self._dead
 
+    @property
+    def near_depth(self) -> int:
+        """Live events in the (single) near tier.
+
+        The heap has one tier, so every live event is "near"; the
+        tiered twin splits the same total across its calendar window
+        and wheel.  Both twins therefore satisfy the telemetry
+        invariant ``near_depth + wheel_depth == len(queue)``.
+        """
+        return self._live
+
+    @property
+    def wheel_depth(self) -> int:
+        """Live events in far tiers: always 0, the heap has no wheel."""
+        return 0
+
     def iter_entries(self):
         """Yield every queued ``(time, seq, event)`` entry, unordered.
 

@@ -14,15 +14,25 @@ four pieces:
   snapshots (``tail -f`` a running campaign);
 * :mod:`~repro.telemetry.kernel` / :mod:`~repro.telemetry.runtime` --
   the simulator hook and the per-run bundle campaigns thread through
-  their layers.
+  their layers;
+* :mod:`~repro.telemetry.httpd` -- the live observability plane: a
+  read-only HTTP server (``/metrics``, ``/healthz``, ``/snapshot.json``,
+  ``/journal``, an HTML dashboard at ``/``) over one or many bundles;
+* :mod:`~repro.telemetry.tracer` -- span chains rendered as Chrome
+  trace-event JSON (Perfetto-loadable, infection -> query causality);
+* :mod:`~repro.telemetry.profiler` -- per-label kernel hotspot reports
+  from the sampled callback wall-time histograms.
 """
 
+from .httpd import ObservatoryHub, TelemetryServer, tail_journal
 from .journal import RunJournal
 from .kernel import KernelTelemetry
+from .profiler import Hotspot, HotspotReport
 from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                        MetricRegistry, get_registry, set_registry)
 from .runtime import CampaignTelemetry
 from .spans import Span, SpanTracer
+from .tracer import build_trace, chain_roots, infected_roots, write_trace
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricRegistry", "DEFAULT_BUCKETS",
@@ -31,4 +41,7 @@ __all__ = [
     "RunJournal",
     "KernelTelemetry",
     "CampaignTelemetry",
+    "ObservatoryHub", "TelemetryServer", "tail_journal",
+    "Hotspot", "HotspotReport",
+    "build_trace", "chain_roots", "infected_roots", "write_trace",
 ]

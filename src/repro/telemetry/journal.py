@@ -12,6 +12,13 @@ a machine-readable record of how the run unfolded.
 
 Probe callables must never kill a campaign: a raising probe records
 ``None`` for its field and bumps the journal's error counter instead.
+
+The snapshot cadence defaults to *auto*: ``interval_s=None`` resolves
+at :meth:`RunJournal.install` time to horizon/100 clamped to [1s,
+3600s], so a 0.1-virtual-day run still journals ~100 lines instead of
+two.  Pass ``interval_s=3600.0`` explicitly to reproduce the fixed
+hourly cadence of pre-auto runs (journal snapshots are scheduler
+events, so the cadence is part of a run's event digest).
 """
 
 from __future__ import annotations
@@ -31,13 +38,20 @@ Probe = Callable[[], object]
 class RunJournal:
     """Periodic JSONL snapshots of a running simulation."""
 
-    def __init__(self, path: Path, interval_s: float = 3600.0,
+    #: clamp bounds for the auto-derived snapshot interval (seconds)
+    AUTO_MIN_S = 1.0
+    AUTO_MAX_S = 3600.0
+    #: horizon divisor for the auto interval: ~100 lines per run
+    AUTO_DIVISOR = 100.0
+
+    def __init__(self, path: Path, interval_s: Optional[float] = None,
                  probes: Optional[Dict[str, Probe]] = None,
                  registry: Optional[MetricRegistry] = None) -> None:
-        if interval_s <= 0:
+        if interval_s is not None and interval_s <= 0:
             raise ValueError(
                 f"interval_s must be positive, got {interval_s!r}")
         self.path = Path(path)
+        #: None = auto (resolved against the horizon at install time)
         self.interval_s = interval_s
         self.probes: Dict[str, Probe] = dict(probes or {})
         self.snapshots_written = 0
@@ -56,14 +70,33 @@ class RunJournal:
         """Add one named field computed at every snapshot."""
         self.probes[name] = probe
 
+    def resolve_interval(self, horizon_s: Optional[float] = None) -> float:
+        """The effective snapshot cadence in virtual seconds.
+
+        An explicit ``interval_s`` wins unchanged; in auto mode the
+        cadence is ``horizon_s / AUTO_DIVISOR`` clamped to
+        ``[AUTO_MIN_S, AUTO_MAX_S]`` (hourly when no horizon is known).
+        """
+        if self.interval_s is not None:
+            return self.interval_s
+        if horizon_s is None or horizon_s <= 0:
+            return self.AUTO_MAX_S
+        return min(self.AUTO_MAX_S,
+                   max(self.AUTO_MIN_S, horizon_s / self.AUTO_DIVISOR))
+
     def install(self, sim, until: Optional[float] = None) -> None:
         """Schedule periodic snapshots on ``sim`` (label ``journal``).
 
         ``until`` bounds the schedule the same way ``Simulator.every``
         does; campaigns pass their drain horizon so the journal never
-        keeps an otherwise-finished queue alive.
+        keeps an otherwise-finished queue alive.  In auto mode the
+        cadence resolves here against ``until - sim.now`` and is pinned
+        on ``interval_s`` so later readers see the value actually
+        scheduled.
         """
         self._open()
+        horizon = until - sim.now if until is not None else None
+        self.interval_s = self.resolve_interval(horizon)
         sim.every(self.interval_s, lambda: self.snapshot(sim),
                   label="journal", until=until)
 

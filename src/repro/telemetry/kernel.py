@@ -65,18 +65,24 @@ class KernelTelemetry:
             "sim_queue_cancelled_total",
             "Events ever cancelled through the queue (monotonic; "
             "identical across scheduler twins).")
-        # per-tier depth split of sim_queue_depth, populated only by
-        # the tiered scheduler (the heap twin reports zeros: one tier,
-        # no split to report)
+        # per-tier depth split of sim_queue_depth; both scheduler twins
+        # expose the split (the heap reports everything as near) and
+        # near + wheel == depth holds whichever twin a run used
         self._near_depth = self.registry.gauge(
             "sim_queue_near_depth",
-            "Live events in the tiered scheduler's calendar window.")
+            "Live events in the scheduler's near tier (the tiered "
+            "queue's calendar window; all live events on the heap).")
         self._wheel_depth = self.registry.gauge(
             "sim_queue_wheel_depth",
-            "Live events in the tiered scheduler's wheel levels "
-            "and overflow.")
+            "Live events in far tiers (tiered queue's wheel levels "
+            "and overflow; always 0 on the heap).")
         self._virtual_time = self.registry.gauge(
             "sim_virtual_time_seconds", "Current virtual clock reading.")
+        self.registry.gauge(
+            "sim_callback_sample_interval",
+            "Denominator N of the 1-in-N callback wall-time sampling "
+            "(hotspot reports scale sampled means by it).",
+        ).set(sample_every)
 
     @property
     def events_seen(self) -> int:
@@ -100,8 +106,9 @@ class KernelTelemetry:
         self._queue_dead.set(queue.dead_events)
         self._compactions.set(queue.compactions)
         self._cancelled.set(getattr(queue, "cancelled_total", 0))
-        # duck-typed like everything else here: only the tiered
-        # scheduler has tiers to report
-        self._near_depth.set(getattr(queue, "near_depth", 0))
-        self._wheel_depth.set(getattr(queue, "wheel_depth", 0))
+        # both scheduler twins expose the tier split directly; the heap
+        # counts every live event as near so the near + wheel == depth
+        # invariant holds on the reference twin too
+        self._near_depth.set(queue.near_depth)
+        self._wheel_depth.set(queue.wheel_depth)
         self._virtual_time.set(sim.now)

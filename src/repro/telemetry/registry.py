@@ -13,7 +13,9 @@ cached child so the hot path is one dict lookup plus a float add --
 cheap enough to leave enabled everywhere (``benchmarks/baseline.py``
 measures the overhead).  A :class:`MetricRegistry` get-or-creates
 instruments by name (re-registration with a different kind or label set
-is an error), renders the Prometheus text format, and round-trips
+is an error, and the first registration must carry help text so every
+exported family renders ``# HELP`` + ``# TYPE``), renders the
+Prometheus text format, and round-trips
 through plain-dict snapshots so per-worker registries from a process
 pool can be merged deterministically into a parent (counters and
 histograms sum; gauges keep the max).
@@ -297,6 +299,13 @@ class MetricRegistry:
                     f"{name} already registered as {existing.kind} with "
                     f"labels {existing.label_names}")
             return existing
+        if not help:
+            # every registered family must render a # HELP line, so the
+            # /metrics body always parses under the Prometheus text
+            # format; looking up an existing instrument needs no help
+            raise ValueError(
+                f"{name}: help text is required when registering a new "
+                f"instrument")
         instrument = cls(name, help, label_names, **kwargs)
         instrument.max_cardinality = self.max_label_cardinality
         self._metrics[name] = instrument
@@ -329,8 +338,10 @@ class MetricRegistry:
         lines: List[str] = []
         for name in sorted(self._metrics):
             metric = self._metrics[name]
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+            # every family emits both comment lines unconditionally:
+            # registration rejects empty help, so the body is always
+            # parseable under the Prometheus text-format rules
+            lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")
             for label_values, leaf in metric.samples():
                 pairs = ", ".join(

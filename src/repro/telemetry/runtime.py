@@ -10,9 +10,12 @@ conventional on-disk layout::
     <dir>/<name>_journal.jsonl   written live during the run
     <dir>/<name>_metrics.prom    written by write_outputs()
     <dir>/<name>_spans.jsonl     written by write_outputs()
+    <dir>/<name>_trace.json      written by write_outputs()
 
 The bundle is cheap to construct and safe to ignore: every campaign
 entry point takes ``telemetry=None`` and skips all of this when unset.
+:meth:`CampaignTelemetry.serve` additionally exposes the bundle live
+over HTTP (read-only; see :mod:`~repro.telemetry.httpd`).
 """
 
 from __future__ import annotations
@@ -38,6 +41,9 @@ class CampaignTelemetry:
     journal: Optional[RunJournal] = None
     #: sample one in N event callbacks for wall-time histograms
     sample_every: int = 64
+    #: keep 1-in-N clean span chains in the trace export (infected
+    #: chains are always kept; see repro.telemetry.tracer)
+    trace_sample_every: int = 1
     kernel: KernelTelemetry = field(init=False)
 
     def __post_init__(self) -> None:
@@ -46,9 +52,15 @@ class CampaignTelemetry:
 
     @classmethod
     def for_directory(cls, directory: Path, name: str,
-                      journal_interval_s: float = 3600.0,
-                      sample_every: int = 64) -> "CampaignTelemetry":
-        """A bundle whose journal lives at ``<directory>/<name>_journal.jsonl``."""
+                      journal_interval_s: Optional[float] = None,
+                      sample_every: int = 64,
+                      trace_sample_every: int = 1) -> "CampaignTelemetry":
+        """A bundle whose journal lives at ``<directory>/<name>_journal.jsonl``.
+
+        ``journal_interval_s=None`` (the default) derives the snapshot
+        cadence from the run horizon at install time; pass an explicit
+        float to pin it (see :class:`RunJournal`).
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         registry = MetricRegistry()
@@ -56,10 +68,12 @@ class CampaignTelemetry:
                              interval_s=journal_interval_s,
                              registry=registry)
         return cls(registry=registry, journal=journal,
-                   sample_every=sample_every)
+                   sample_every=sample_every,
+                   trace_sample_every=trace_sample_every)
 
     def write_outputs(self, directory: Path, name: str) -> Dict[str, Path]:
-        """Dump metrics + spans under ``directory``; returns the paths."""
+        """Dump metrics + spans + trace under ``directory``; returns the paths."""
+        from .tracer import write_trace
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         metrics_path = directory / f"{name}_metrics.prom"
@@ -67,7 +81,24 @@ class CampaignTelemetry:
                                 encoding="utf-8")
         spans_path = directory / f"{name}_spans.jsonl"
         self.tracer.to_jsonl(spans_path)
-        written = {"metrics": metrics_path, "spans": spans_path}
+        trace_path = directory / f"{name}_trace.json"
+        write_trace(self.tracer, trace_path,
+                    sample_every=self.trace_sample_every,
+                    process_name=name)
+        written = {"metrics": metrics_path, "spans": spans_path,
+                   "trace": trace_path}
         if self.journal is not None:
             written["journal"] = self.journal.path
         return written
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0,
+              name: str = "campaign"):
+        """Expose this bundle live over HTTP; returns the started server.
+
+        The server is read-only and off the hot path (see
+        :mod:`~repro.telemetry.httpd`); callers own ``stop()``.
+        """
+        from .httpd import ObservatoryHub, TelemetryServer
+        hub = ObservatoryHub(title=name)
+        hub.add_campaign(name, self)
+        return TelemetryServer(hub, host=host, port=port).start()

@@ -1,0 +1,176 @@
+"""Causal flight recorder: span chains as Chrome trace-event JSON.
+
+The span layer (:mod:`repro.telemetry.spans`) already records every
+query -> response -> download -> scan chain with explicit parents; this
+module renders those chains into the Chrome trace-event format, so a
+campaign's causality loads directly into ``chrome://tracing`` or
+Perfetto (``ui.perfetto.dev``, *Open trace file*) and any infection can
+be followed back to the query that caused it.
+
+Layout: one process per campaign (``pid``), one named track per span
+kind (``tid``: query / response / download / scan).  Every span becomes
+a complete-duration event (``ph: "X"``) whose timestamps are **virtual
+microseconds** -- virtual time is deterministic, so two runs of the
+same seed serialize to byte-identical JSON (wall-clock fields are
+deliberately excluded).  Parent -> child edges become flow events
+(``ph: "s"`` / ``"f"``) keyed by the child's span id, drawing the
+causal arrows between tracks.
+
+Sampling keeps the file bounded without ever losing an infection:
+every chain whose scan came back dirty (or whose download carried a
+malware attribute) is always exported, and clean chains are kept
+1-in-``sample_every`` by root span id -- a deterministic rule, no RNG.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from .spans import Span, SpanTracer
+
+__all__ = ["CATEGORY_TIDS", "build_trace", "write_trace",
+           "infected_roots", "chain_roots"]
+
+#: Track ids per span kind; unknown kinds land on track 0.
+CATEGORY_TIDS: Dict[str, int] = {
+    "query": 1, "response": 2, "download": 3, "scan": 4}
+
+#: One virtual second in trace-event time units (microseconds).
+_US = 1e6
+
+
+def chain_roots(tracer: SpanTracer) -> Dict[int, int]:
+    """Map every span id to the id of its chain's root span.
+
+    Spans are recorded in start order, so a parent always precedes its
+    children and one forward pass resolves every chain; a dangling
+    ``parent_id`` (parent dropped at capacity) makes the span its own
+    root rather than losing it.
+    """
+    roots: Dict[int, int] = {}
+    for span in tracer.spans():
+        if span.parent_id is not None and span.parent_id in roots:
+            roots[span.span_id] = roots[span.parent_id]
+        else:
+            roots[span.span_id] = span.span_id
+    return roots
+
+
+def _is_infected(span: Span) -> bool:
+    """Did this span record malware (dirty scan / malicious download)?"""
+    attributes = span.attributes
+    if span.name == "scan" and attributes.get("clean") is False:
+        return True
+    return bool(attributes.get("malware"))
+
+
+def infected_roots(tracer: SpanTracer,
+                   roots: Optional[Dict[int, int]] = None) -> Set[int]:
+    """Root span ids of every chain that recorded an infection."""
+    roots = roots if roots is not None else chain_roots(tracer)
+    return {roots[span.span_id] for span in tracer.spans()
+            if _is_infected(span)}
+
+
+def _sampled_roots(tracer: SpanTracer, sample_every: int,
+                   roots: Dict[int, int]) -> Set[int]:
+    """Roots to export: all infected chains + 1-in-N of the rest."""
+    if sample_every < 1:
+        raise ValueError(
+            f"sample_every must be >= 1, got {sample_every!r}")
+    keep = infected_roots(tracer, roots)
+    phase = 1 % sample_every  # span ids start at 1
+    for root in sorted(set(roots.values())):
+        if root % sample_every == phase:
+            keep.add(root)
+    return keep
+
+
+def _ts(virtual_seconds: float) -> float:
+    """Virtual seconds -> trace microseconds (plain scaling, no clock)."""
+    return virtual_seconds * _US
+
+
+def build_trace(tracer: SpanTracer, sample_every: int = 1,
+                pid: int = 1, process_name: str = "campaign") -> dict:
+    """Render the tracer's chains as a Chrome trace-event JSON object.
+
+    Returns the full top-level dict (``{"traceEvents": [...], ...}``);
+    callers serialize it themselves or go through :func:`write_trace`.
+    The event list is deterministic: metadata first, then spans in
+    start order, each followed by the flow edge from its parent.
+    """
+    roots = chain_roots(tracer)
+    keep = _sampled_roots(tracer, sample_every, roots)
+    events: List[dict] = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": process_name}},
+    ]
+    for kind in sorted(CATEGORY_TIDS, key=CATEGORY_TIDS.get):
+        events.append({"ph": "M", "pid": pid, "tid": CATEGORY_TIDS[kind],
+                       "name": "thread_name", "args": {"name": kind}})
+    exported = 0
+    for span in tracer.spans():
+        if roots[span.span_id] not in keep:
+            continue
+        exported += 1
+        tid = CATEGORY_TIDS.get(span.name, 0)
+        end = (span.end_virtual if span.end_virtual is not None
+               else span.start_virtual)
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        args.update(sorted(span.attributes.items()))
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid,
+            "name": span.name, "cat": span.name,
+            "ts": _ts(span.start_virtual),
+            # zero-duration spans render invisibly; floor at 1 us
+            "dur": max(_ts(end - span.start_virtual), 1.0),
+            "args": args,
+        })
+        parent = (tracer.get(span.parent_id)
+                  if span.parent_id is not None else None)
+        if parent is not None:
+            # flow edge parent -> child, id = child span id (unique and
+            # deterministic); parents always start no later than their
+            # children in virtual time, so s precedes f
+            flow = {"cat": "causal", "name": "causal",
+                    "pid": pid, "id": span.span_id}
+            events.append({**flow, "ph": "s",
+                           "tid": CATEGORY_TIDS.get(parent.name, 0),
+                           "ts": _ts(parent.start_virtual)})
+            events.append({**flow, "ph": "f", "bp": "e", "tid": tid,
+                           "ts": _ts(span.start_virtual)})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual (simulated seconds as microseconds)",
+            "spans_recorded": len(tracer),
+            "spans_exported": exported,
+            "spans_dropped_at_capacity": tracer.dropped,
+            "chains_total": len(set(roots.values())),
+            "chains_exported": len(keep),
+            "chains_infected": len(infected_roots(tracer, roots)),
+            "sample_every": sample_every,
+        },
+    }
+
+
+def write_trace(tracer: SpanTracer, path: Path, sample_every: int = 1,
+                pid: int = 1, process_name: str = "campaign") -> dict:
+    """Serialize :func:`build_trace` to ``path``; returns the summary.
+
+    ``sort_keys`` plus the deterministic event order make the file
+    byte-identical across runs of the same seed.
+    """
+    trace = build_trace(tracer, sample_every=sample_every, pid=pid,
+                        process_name=process_name)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True, indent=None,
+                  separators=(",", ":"))
+        handle.write("\n")
+    return trace["otherData"]

@@ -149,3 +149,63 @@ class TestFilterEval:
     def test_missing_store_errors(self, tmp_path, capsys):
         code = main(["filter-eval", str(tmp_path / "nope.jsonl")])
         assert code == 2
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.network == "limewire"
+        assert args.port == 8000
+        assert args.journal_interval is None
+        assert args.verify is False
+
+    def test_replicate_serve_port_requires_telemetry_dir(self, capsys):
+        code = main(["replicate", "--serve-port", "0"])
+        assert code == 2
+        assert "--telemetry-dir" in capsys.readouterr().err
+
+    def test_serve_runs_and_writes_outputs(self, tmp_path, capsys):
+        out = tmp_path / "served"
+        code = main(["serve", "--network", "limewire", "--days", "0.02",
+                     "--scale", "0.35", "--port", "0",
+                     "--out", str(out)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving http://127.0.0.1:" in output
+        assert (out / "limewire_trace.json").exists()
+        assert (out / "limewire_metrics.prom").exists()
+
+
+class TestHotspots:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["hotspots"])
+        assert args.network == "limewire"
+        assert args.top == 15
+
+    def test_prints_ranked_table(self, tmp_path, capsys):
+        json_path = tmp_path / "hotspots.json"
+        code = main(["hotspots", "--network", "limewire", "--days",
+                     "0.02", "--scale", "0.35",
+                     "--json", str(json_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "kernel hotspots" in output
+        assert "share" in output
+        assert json_path.exists()
+
+    def test_reads_saved_snapshot(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.telemetry.registry import MetricRegistry
+        registry = MetricRegistry()
+        registry.histogram("sim_callback_wall_seconds", "Wall.",
+                           labels=("label",),
+                           buckets=(0.001,)).labels("scan").observe(0.0005)
+        registry.get("sim_events_total") or registry.counter(
+            "sim_events_total", "Events.",
+            labels=("label",)).labels("scan").inc(64)
+        path = tmp_path / "snap.json"
+        path.write_text(json_module.dumps(registry.snapshot()))
+        code = main(["hotspots", "--snapshot", str(path)])
+        assert code == 0
+        assert "scan" in capsys.readouterr().out

@@ -137,6 +137,37 @@ class TestDifferential:
         assert run(False) == run(True)
 
 
+class TestTierInvariant:
+    """near + wheel == depth must hold on both scheduler twins."""
+
+    @pytest.mark.parametrize("factory", [TieredEventQueue, EventQueue],
+                             ids=["tiered", "heap"])
+    def test_twin_consistent_tier_split(self, factory):
+        rng = random.Random(29)
+        queue = factory()
+        live = []
+        for step in range(400):
+            action = rng.random()
+            if action < 0.55 or not live:
+                # spread pushes across window, wheels and overflow
+                when = rng.choice((
+                    rng.uniform(0.0, NEAR_SPAN),
+                    rng.uniform(NEAR_SPAN, NEAR_SPAN * 50),
+                    BEYOND_WHEELS + rng.uniform(0.0, 100.0)))
+                live.append(queue.push(when, lambda: None))
+            elif action < 0.8:
+                event = live.pop(rng.randrange(len(live)))
+                queue.cancel(event)
+            else:
+                popped = queue.pop()
+                if popped is not None:
+                    live.remove(popped)
+            assert (queue.near_depth + queue.wheel_depth
+                    == len(queue)), f"invariant broke at step {step}"
+        drain(queue)
+        assert queue.near_depth + queue.wheel_depth == len(queue) == 0
+
+
 class TestWheelEdges:
     def test_overflow_bucket_holds_beyond_top_level(self):
         queue = TieredEventQueue()

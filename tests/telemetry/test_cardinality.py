@@ -39,7 +39,7 @@ class TestCardinalityGuard:
 
     def test_existing_keys_keep_their_own_child(self):
         registry = MetricRegistry(max_label_cardinality=2)
-        counter = registry.counter("hits_total", labels=("who",))
+        counter = registry.counter("hits_total", "Hits.", labels=("who",))
         counter.labels("a").inc()
         counter.labels("b").inc()
         with warnings.catch_warnings():
@@ -52,7 +52,7 @@ class TestCardinalityGuard:
 
     def test_unbounded_when_cap_is_none(self):
         registry = MetricRegistry(max_label_cardinality=None)
-        counter = registry.counter("free_total", labels=("who",))
+        counter = registry.counter("free_total", "Free.", labels=("who",))
         for i in range(50):
             counter.labels(f"who-{i}").inc()
         assert len(dict(counter.samples())) == 50

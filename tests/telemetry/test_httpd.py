@@ -1,0 +1,302 @@
+"""Tests for the live observability HTTP server and its hub."""
+
+import json
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.telemetry import CampaignTelemetry
+from repro.telemetry.httpd import (ObservatoryHub, TelemetryServer,
+                                   tail_journal)
+from repro.telemetry.registry import MetricRegistry
+
+
+def fetch(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+@pytest.fixture()
+def served():
+    """A started server over one live bundle; stopped after the test."""
+    telemetry = CampaignTelemetry()
+    hub = ObservatoryHub(title="test run")
+    hub.add_campaign("limewire", telemetry)
+    server = TelemetryServer(hub, port=0).start()
+    try:
+        yield server, hub, telemetry
+    finally:
+        server.stop()
+
+
+class TestTailJournal:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert tail_journal(tmp_path / "nope.jsonl") == []
+
+    def test_returns_last_rows_oldest_first(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("".join(json.dumps({"n": n}) + "\n"
+                                for n in range(10)))
+        rows = tail_journal(path, limit=3)
+        assert [row["n"] for row in rows] == [7, 8, 9]
+
+    def test_partial_last_line_is_skipped(self, tmp_path):
+        # a writer mid-line: the unterminated record must not break
+        # the tail or appear truncated
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"n": 1}) + "\n"
+                        + json.dumps({"n": 2}) + "\n"
+                        + '{"n": 3, "half')
+        rows = tail_journal(path)
+        assert [row["n"] for row in rows] == [1, 2]
+
+    def test_seek_truncated_first_line_is_dropped(self, tmp_path):
+        # when the file is larger than max_bytes the seek lands
+        # mid-record; that first fragment must be discarded
+        path = tmp_path / "run.jsonl"
+        path.write_text("".join(
+            json.dumps({"n": n, "pad": "x" * 100}) + "\n"
+            for n in range(50)))
+        rows = tail_journal(path, limit=50, max_bytes=500)
+        assert rows  # something survived
+        assert all(set(row) == {"n", "pad"} for row in rows)
+        assert [row["n"] for row in rows] == list(
+            range(rows[0]["n"], 50))
+
+    def test_non_object_rows_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('[1,2]\n"str"\n' + json.dumps({"ok": True}) + "\n")
+        assert tail_journal(path) == [{"ok": True}]
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        server, _hub, _telemetry = served
+        status, _headers, body = fetch(server.url + "healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["campaigns"] == 1
+
+    def test_metrics_renders_prometheus(self, served):
+        server, _hub, telemetry = served
+        telemetry.registry.counter(
+            "demo_total", "Demo.", labels=("kind",)).labels("a").inc(3)
+        status, headers, body = fetch(server.url + "metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert 'demo_total{kind="a"} 3' in text
+
+    def test_metrics_parses_under_prometheus_text_rules(self, served):
+        # conformance: every sample line matches the exposition
+        # grammar, every family has exactly one HELP and one TYPE
+        # (no duplicate families), and label escaping round-trips
+        server, _hub, telemetry = served
+        telemetry.registry.counter(
+            "esc_total", "Escapes.", labels=("q",)).labels(
+                'quote " slash \\ newline \n').inc()
+        _status, _headers, body = fetch(server.url + "metrics")
+        text = body.decode("utf-8")
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\})?'
+            r' [0-9eE.+-]+(?:[+-]?Inf|NaN)?$')
+        families = []
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                families.append(line.split(" ", 3)[2])
+                continue
+            if line.startswith("# TYPE "):
+                name, kind = line.split(" ", 3)[2:4]
+                assert kind in ("counter", "gauge", "histogram")
+                assert name == families[-1]
+                continue
+            assert sample_re.match(line), f"unparseable line: {line!r}"
+        assert len(families) == len(set(families)), "duplicate family"
+        assert "esc_total" in families
+        assert r'q="quote \" slash \\ newline \n"' in text
+
+    def test_snapshot_json(self, served):
+        server, hub, telemetry = served
+        telemetry.registry.gauge("depth", "Depth.").set(7)
+        hub.set_status(network="limewire")
+        payload = json.loads(fetch(server.url + "snapshot.json")[2])
+        assert payload["status"]["network"] == "limewire"
+        names = {entry["name"]
+                 for entry in payload["registry"]["metrics"]}
+        assert "depth" in names
+
+    def test_journal_tail_endpoint(self, served, tmp_path):
+        server, hub, _telemetry = served
+        path = tmp_path / "w.jsonl"
+        path.write_text("".join(json.dumps({"n": n}) + "\n"
+                                for n in range(5)))
+        hub.add_journal("w", path)
+        payload = json.loads(fetch(server.url + "journal?n=2")[2])
+        assert [row["n"] for row in payload["journals"]["w"]] == [3, 4]
+
+    def test_dashboard_html(self, served):
+        server, _hub, telemetry = served
+        telemetry.registry.gauge(
+            "sim_virtual_time_seconds", "Clock.").set(1234.5)
+        status, headers, body = fetch(server.url)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        text = body.decode("utf-8")
+        assert "test run" in text
+        assert "1,234.5 s" in text  # server-rendered initial value
+        assert "dashboard.json" in text  # the polling script
+
+    def test_dashboard_json_state(self, served):
+        server, _hub, telemetry = served
+        telemetry.registry.counter(
+            "downloader_malicious_total",
+            "Downloads whose scan came back dirty.").inc(4)
+        state = json.loads(fetch(server.url + "dashboard.json")[2])
+        assert state["infections"] == 4
+
+    def test_unknown_route_404(self, served):
+        server, _hub, _telemetry = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "nope")
+        assert excinfo.value.code == 404
+
+    def test_trace_json_endpoint(self, served):
+        server, _hub, telemetry = served
+        span = telemetry.tracer.start("query", 1.0, query="x")
+        telemetry.tracer.end(span, 2.0)
+        payload = json.loads(fetch(server.url + "trace.json")[2])
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "query" in names
+
+    def test_hotspots_json_endpoint(self, served):
+        server, _hub, telemetry = served
+        telemetry.kernel.observe_callback("scan", 0.001)
+        telemetry.registry.get("sim_events_total").labels("scan").inc(64)
+        payload = json.loads(fetch(server.url + "hotspots.json")[2])
+        assert payload["hotspots"][0]["label"] == "scan"
+
+
+class TestHubAggregation:
+    def test_merged_registry_includes_recorded_snapshots(self):
+        hub = ObservatoryHub()
+        for seed in (2, 1):
+            registry = MetricRegistry()
+            registry.counter("hits_total", "Hits.").inc(seed * 10)
+            hub.record_snapshot(seed, registry.snapshot())
+        merged = hub.merged_registry()
+        assert merged.get("hits_total").value == 30
+
+    def test_merge_order_is_seed_order_not_arrival_order(self):
+        def merged_text(order):
+            hub = ObservatoryHub()
+            for seed in order:
+                registry = MetricRegistry()
+                registry.gauge("depth", "Depth.").set(float(seed))
+                registry.counter("hits_total", "Hits.").inc(seed)
+                hub.record_snapshot(seed, registry.snapshot())
+            return hub.merged_registry().render_prometheus()
+
+        assert merged_text([3, 1, 2]) == merged_text([1, 2, 3])
+
+    def test_record_snapshot_replaces_same_key(self):
+        hub = ObservatoryHub()
+        for total in (5, 9):
+            registry = MetricRegistry()
+            registry.counter("hits_total", "Hits.").inc(total)
+            hub.record_snapshot(1, registry.snapshot())
+        assert hub.merged_registry().get("hits_total").value == 9
+
+    def test_live_and_recorded_merge_together(self):
+        telemetry = CampaignTelemetry()
+        telemetry.registry.counter("hits_total", "Hits.").inc(2)
+        worker = MetricRegistry()
+        worker.counter("hits_total", "Hits.").inc(3)
+        hub = ObservatoryHub()
+        hub.add_campaign("live", telemetry)
+        hub.record_snapshot(7, worker.snapshot())
+        assert hub.merged_registry().get("hits_total").value == 5
+
+
+class TestConcurrentScrapes:
+    def test_parallel_scrapes_during_writes(self, served):
+        # N threads hammer /metrics while the "campaign" thread mutates
+        # the registry: every response must be a complete, parseable
+        # exposition body (the hub retries snapshots mid-mutation)
+        server, _hub, telemetry = served
+        counter = telemetry.registry.counter(
+            "churn_total", "Churn.", labels=("who",))
+        stop = threading.Event()
+
+        def writer():
+            n = 0
+            while not stop.is_set():
+                counter.labels(f"peer-{n % 200}").inc()
+                n += 1
+
+        failures = []
+
+        def scraper():
+            for _ in range(20):
+                try:
+                    status, _headers, body = fetch(server.url + "metrics")
+                    assert status == 200
+                    text = body.decode("utf-8")
+                    if "# HELP churn_total" not in text:
+                        failures.append("missing family")
+                except Exception as error:  # noqa: BLE001
+                    failures.append(repr(error))
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        writer_thread.start()
+        scrapers = [threading.Thread(target=scraper) for _ in range(4)]
+        try:
+            for thread in scrapers:
+                thread.start()
+            for thread in scrapers:
+                thread.join(timeout=60)
+        finally:
+            stop.set()
+            writer_thread.join(timeout=10)
+        assert failures == []
+
+    def test_scrapes_never_mutate_the_source_registry(self, served):
+        server, _hub, telemetry = served
+        telemetry.registry.counter("hits_total", "Hits.").inc(5)
+        before = telemetry.registry.render_prometheus()
+        for _ in range(5):
+            fetch(server.url + "metrics")
+            fetch(server.url + "snapshot.json")
+        assert telemetry.registry.render_prometheus() == before
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_and_url(self):
+        hub = ObservatoryHub()
+        server = TelemetryServer(hub, port=0)
+        assert not server.running
+        server.start()
+        try:
+            assert server.running
+            assert server.port > 0
+            assert server.url.endswith(f":{server.port}/")
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_stop_is_idempotent(self):
+        server = TelemetryServer(ObservatoryHub(), port=0).start()
+        server.stop()
+        server.stop()
+
+    def test_context_manager(self):
+        with TelemetryServer(ObservatoryHub(), port=0) as server:
+            status, _headers, _body = fetch(server.url + "healthz")
+            assert status == 200
+        assert not server.running

@@ -45,6 +45,53 @@ class TestCadence:
             RunJournal(tmp_path / "run.jsonl", interval_s=0.0)
 
 
+class TestAutoInterval:
+    def test_default_derives_from_horizon(self, tmp_path):
+        # horizon/100: a 1000s run journals every 10s (~100 lines)
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert journal.interval_s is None
+        assert journal.resolve_interval(1000.0) == pytest.approx(10.0)
+
+    def test_clamped_to_one_second_floor(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert journal.resolve_interval(5.0) == pytest.approx(1.0)
+
+    def test_clamped_to_hourly_ceiling(self, tmp_path):
+        # a 35-virtual-day run must not journal more often than hourly
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert journal.resolve_interval(35 * 86400.0) == pytest.approx(
+            3600.0)
+
+    def test_no_horizon_falls_back_to_hourly(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert journal.resolve_interval(None) == pytest.approx(3600.0)
+        assert journal.resolve_interval(-1.0) == pytest.approx(3600.0)
+
+    def test_explicit_interval_wins(self, tmp_path):
+        # the old fixed-hourly behaviour stays available by opting in
+        journal = RunJournal(tmp_path / "run.jsonl", interval_s=3600.0)
+        assert journal.resolve_interval(1000.0) == pytest.approx(3600.0)
+
+    def test_install_resolves_and_pins_the_cadence(self, tmp_path):
+        sim = Simulator(seed=1)
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.install(sim, until=1000.0)
+        assert journal.interval_s == pytest.approx(10.0)
+        sim.run_all()
+        journal.close(sim)
+        rows = read_rows(journal.path)
+        assert rows[0]["virtual_time"] == pytest.approx(10.0)
+        assert len(rows) == 101  # 100 ticks + the final row
+
+    def test_install_horizon_is_relative_to_now(self, tmp_path):
+        sim = Simulator(seed=1)
+        sim.at(500.0, lambda: None)
+        sim.run_until(500.0)
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.install(sim, until=1500.0)  # horizon: 1000s from now
+        assert journal.interval_s == pytest.approx(10.0)
+
+
 class TestRowContents:
     def test_core_fields(self, tmp_path):
         sim = Simulator(seed=1)

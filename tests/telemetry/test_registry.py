@@ -20,12 +20,13 @@ class TestCounter:
         assert counter.value == 5
 
     def test_cannot_decrease(self, registry):
-        counter = registry.counter("requests_total")
+        counter = registry.counter("requests_total", "Requests.")
         with pytest.raises(ValueError):
             counter.inc(-1)
 
     def test_labelled_children_independent_and_cached(self, registry):
-        counter = registry.counter("hits_total", labels=("outcome",))
+        counter = registry.counter("hits_total", "Hits.",
+                                   labels=("outcome",))
         counter.labels("hit").inc(3)
         counter.labels("miss").inc()
         assert counter.labels("hit") is counter.labels("hit")
@@ -34,31 +35,33 @@ class TestCounter:
         assert counter.value == 4  # parent sums children
 
     def test_unlabelled_inc_on_labelled_counter_rejected(self, registry):
-        counter = registry.counter("hits_total", labels=("outcome",))
+        counter = registry.counter("hits_total", "Hits.",
+                                   labels=("outcome",))
         with pytest.raises(ValueError):
             counter.inc()
 
     def test_wrong_label_arity_rejected(self, registry):
-        counter = registry.counter("hits_total", labels=("a", "b"))
+        counter = registry.counter("hits_total", "Hits.",
+                                   labels=("a", "b"))
         with pytest.raises(ValueError):
             counter.labels("only-one")
 
     def test_labels_on_unlabelled_rejected(self, registry):
-        counter = registry.counter("plain_total")
+        counter = registry.counter("plain_total", "Plain.")
         with pytest.raises(ValueError):
             counter.labels("x")
 
 
 class TestGauge:
     def test_set_inc_dec(self, registry):
-        gauge = registry.gauge("depth")
+        gauge = registry.gauge("depth", "Depth.")
         gauge.set(10)
         gauge.inc(5)
         gauge.dec(2)
         assert gauge.value == 13
 
     def test_gauges_can_go_negative(self, registry):
-        gauge = registry.gauge("delta")
+        gauge = registry.gauge("delta", "Delta.")
         gauge.dec(3)
         assert gauge.value == -3
 
@@ -67,7 +70,8 @@ class TestHistogram:
     def test_bucket_edges_are_upper_inclusive(self, registry):
         # Prometheus `le` semantics: an observation exactly on a
         # boundary lands in that boundary's bucket
-        histogram = registry.histogram("lat", buckets=(1.0, 2.0, 5.0))
+        histogram = registry.histogram("lat", "Latency.",
+                                       buckets=(1.0, 2.0, 5.0))
         histogram.observe(1.0)   # le=1.0
         histogram.observe(1.5)   # le=2.0
         histogram.observe(2.0)   # le=2.0
@@ -78,12 +82,12 @@ class TestHistogram:
 
     def test_buckets_must_ascend(self, registry):
         with pytest.raises(ValueError):
-            registry.histogram("bad", buckets=(2.0, 1.0))
+            registry.histogram("bad", "Bad.", buckets=(2.0, 1.0))
         with pytest.raises(ValueError):
-            registry.histogram("bad2", buckets=())
+            registry.histogram("bad2", "Bad.", buckets=())
 
     def test_labelled_histogram(self, registry):
-        histogram = registry.histogram("lat", labels=("op",),
+        histogram = registry.histogram("lat", "Latency.", labels=("op",),
                                        buckets=(1.0,))
         histogram.labels("read").observe(0.5)
         histogram.labels("write").observe(2.0)
@@ -93,25 +97,39 @@ class TestHistogram:
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self, registry):
-        first = registry.counter("a_total")
-        second = registry.counter("a_total")
+        first = registry.counter("a_total", "A.")
+        second = registry.counter("a_total", "A.")
         assert first is second
 
+    def test_lookup_of_existing_needs_no_help(self, registry):
+        first = registry.counter("a_total", "A.")
+        assert registry.counter("a_total") is first
+
+    def test_help_required_when_creating(self, registry):
+        # every new instrument must document itself: the /metrics
+        # endpoint promises a # HELP line per family
+        with pytest.raises(ValueError, match="help"):
+            registry.counter("undocumented_total")
+        with pytest.raises(ValueError, match="help"):
+            registry.gauge("undocumented")
+        with pytest.raises(ValueError, match="help"):
+            registry.histogram("undocumented_seconds", buckets=(1.0,))
+
     def test_kind_mismatch_rejected(self, registry):
-        registry.counter("a_total")
+        registry.counter("a_total", "A.")
         with pytest.raises(ValueError):
-            registry.gauge("a_total")
+            registry.gauge("a_total", "A.")
 
     def test_label_mismatch_rejected(self, registry):
-        registry.counter("a_total", labels=("x",))
+        registry.counter("a_total", "A.", labels=("x",))
         with pytest.raises(ValueError):
-            registry.counter("a_total", labels=("y",))
+            registry.counter("a_total", "A.", labels=("y",))
 
     def test_invalid_names_rejected(self, registry):
         with pytest.raises(ValueError):
-            registry.counter("0bad")
+            registry.counter("0bad", "Bad.")
         with pytest.raises(ValueError):
-            registry.counter("ok_total", labels=("bad-label",))
+            registry.counter("ok_total", "OK.", labels=("bad-label",))
 
     def test_default_registry_swap(self):
         original = get_registry()
@@ -143,7 +161,8 @@ class TestPrometheusRendering:
         counter.labels("hit").inc(7)
         counter.labels("miss").inc(2)
         registry.gauge("depth", "Queue depth.").set(42)
-        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        histogram = registry.histogram("lat", "Latency.",
+                                       buckets=(0.1, 1.0))
         histogram.observe(0.05)
         histogram.observe(0.5)
         histogram.observe(3.0)
@@ -166,15 +185,29 @@ class TestPrometheusRendering:
         assert "# HELP hits_total Cache hits." in text
         assert "# TYPE hits_total counter" in text
 
+    def test_every_family_gets_help_and_type(self, registry):
+        # conformance: # HELP and # TYPE precede every family, exactly
+        # once, in family order
+        registry.counter("a_total", "A.")
+        registry.gauge("b_depth", "B.")
+        registry.histogram("c_seconds", "C.", buckets=(1.0,))
+        text = registry.render_prometheus()
+        for name in ("a_total", "b_depth", "c_seconds"):
+            assert text.count(f"# HELP {name} ") == 1
+            assert text.count(f"# TYPE {name} ") == 1
+            assert text.index(f"# HELP {name} ") < text.index(
+                f"# TYPE {name} ")
+
     def test_label_values_escaped(self, registry):
-        counter = registry.counter("q_total", labels=("query",))
+        counter = registry.counter("q_total", "Queries.",
+                                   labels=("query",))
         counter.labels('say "hi"\nthere\\').inc()
         text = registry.render_prometheus()
         assert r'query="say \"hi\"\nthere\\"' in text
 
     def test_sorted_and_deterministic(self, registry):
-        registry.counter("z_total").inc()
-        registry.counter("a_total").inc()
+        registry.counter("z_total", "Z.").inc()
+        registry.counter("a_total", "A.").inc()
         first = registry.render_prometheus()
         assert first.index("a_total") < first.index("z_total")
         assert first == registry.render_prometheus()
@@ -186,10 +219,10 @@ class TestPrometheusRendering:
 class TestSnapshotMerge:
     def _filled(self, hit=1, depth=5.0, observations=(0.5,)):
         registry = MetricRegistry()
-        registry.counter("hits_total", labels=("outcome",)) \
+        registry.counter("hits_total", "Hits.", labels=("outcome",)) \
             .labels("hit").inc(hit)
-        registry.gauge("depth").set(depth)
-        histogram = registry.histogram("lat", buckets=(1.0,))
+        registry.gauge("depth", "Depth.").set(depth)
+        histogram = registry.histogram("lat", "Latency.", buckets=(1.0,))
         for value in observations:
             histogram.observe(value)
         return registry

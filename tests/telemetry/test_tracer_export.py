@@ -1,0 +1,191 @@
+"""Tests for the causal trace exporter (Chrome trace-event JSON)."""
+
+import json
+
+import pytest
+
+from repro.core.measure.campaign import (CampaignConfig,
+                                         run_limewire_campaign)
+from repro.peers.profiles import GnutellaProfile
+from repro.telemetry import CampaignTelemetry
+from repro.telemetry.spans import SpanTracer
+from repro.telemetry.tracer import (CATEGORY_TIDS, build_trace,
+                                    chain_roots, infected_roots,
+                                    write_trace)
+
+VALID_PHASES = {"X", "M", "s", "f"}
+
+
+def make_chain(tracer, start, *, clean=True, malware=None):
+    """Record one query->response->download->scan chain; returns root id."""
+    query = tracer.start("query", start, query="trojan")
+    response = tracer.start("response", start + 1.0, parent=query)
+    download = tracer.start("download", start + 2.0, parent=response,
+                            **({"malware": malware} if malware else {}))
+    scan_attrs = {"clean": clean}
+    if malware:
+        scan_attrs["malware"] = malware
+    scan = tracer.start("scan", start + 3.0, parent=download, **scan_attrs)
+    for span, offset in ((query, 4.0), (response, 1.5), (download, 3.0),
+                         (scan, 3.5)):
+        tracer.end(span, start + offset)
+    return query.span_id
+
+
+class TestChainRoots:
+    def test_every_span_maps_to_its_chain_root(self):
+        tracer = SpanTracer()
+        root_a = make_chain(tracer, 0.0)
+        root_b = make_chain(tracer, 100.0)
+        roots = chain_roots(tracer)
+        assert len(roots) == 8
+        assert sorted(set(roots.values())) == [root_a, root_b]
+        for span in tracer.spans():
+            expected = root_a if span.start_virtual < 100.0 else root_b
+            assert roots[span.span_id] == expected
+
+    def test_dangling_parent_becomes_own_root(self):
+        # a span whose parent was dropped at capacity must not vanish
+        tracer = SpanTracer()
+        orphan = tracer.start("scan", 5.0, parent=999_999)
+        roots = chain_roots(tracer)
+        assert roots[orphan.span_id] == orphan.span_id
+
+    def test_infected_roots_flags_dirty_scans_and_malicious_downloads(self):
+        tracer = SpanTracer()
+        make_chain(tracer, 0.0, clean=True)
+        dirty = make_chain(tracer, 100.0, clean=False)
+        carrier = make_chain(tracer, 200.0, malware="W32.Gnuman")
+        assert infected_roots(tracer) == {dirty, carrier}
+
+
+class TestBuildTrace:
+    def test_events_are_schema_valid(self):
+        tracer = SpanTracer()
+        make_chain(tracer, 0.0, clean=False)
+        trace = build_trace(tracer)
+        assert isinstance(trace["traceEvents"], list)
+        assert trace["displayTimeUnit"] == "ms"
+        for event in trace["traceEvents"]:
+            assert event["ph"] in VALID_PHASES
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], float)
+                assert event["dur"] >= 1.0  # floored, never invisible
+            if event["ph"] in ("s", "f"):
+                assert event["cat"] == "causal"
+
+    def test_tracks_follow_category_map(self):
+        tracer = SpanTracer()
+        make_chain(tracer, 0.0)
+        spans = [event for event in build_trace(tracer)["traceEvents"]
+                 if event["ph"] == "X"]
+        assert {(event["name"], event["tid"]) for event in spans} == {
+            (name, tid) for name, tid in CATEGORY_TIDS.items()}
+
+    def test_infection_is_traceable_to_its_query(self):
+        # walk parent_id links from the dirty scan back to the root:
+        # the exported args must carry the full causal path
+        tracer = SpanTracer()
+        root = make_chain(tracer, 0.0, clean=False)
+        by_id = {event["args"]["span_id"]: event
+                 for event in build_trace(tracer)["traceEvents"]
+                 if event["ph"] == "X"}
+        scan = next(event for event in by_id.values()
+                    if event["name"] == "scan")
+        path = [scan["name"]]
+        cursor = scan
+        while cursor["args"]["parent_id"] is not None:
+            cursor = by_id[cursor["args"]["parent_id"]]
+            path.append(cursor["name"])
+        assert path == ["scan", "download", "response", "query"]
+        assert cursor["args"]["span_id"] == root
+
+    def test_flow_edges_pair_up_per_parented_span(self):
+        tracer = SpanTracer()
+        make_chain(tracer, 0.0)  # 4 spans, 3 parent->child edges
+        events = build_trace(tracer)["traceEvents"]
+        starts = [event for event in events if event["ph"] == "s"]
+        finishes = [event for event in events if event["ph"] == "f"]
+        assert len(starts) == len(finishes) == 3
+        assert ({event["id"] for event in starts}
+                == {event["id"] for event in finishes})
+        for finish in finishes:
+            assert finish["bp"] == "e"
+
+    def test_summary_counts(self):
+        tracer = SpanTracer()
+        make_chain(tracer, 0.0, clean=False)
+        make_chain(tracer, 100.0)
+        other = build_trace(tracer)["otherData"]
+        assert other["spans_recorded"] == 8
+        assert other["chains_total"] == 2
+        assert other["chains_infected"] == 1
+        assert other["sample_every"] == 1
+
+
+class TestSampling:
+    def test_infected_chains_survive_any_sampling(self):
+        tracer = SpanTracer()
+        dirty = [make_chain(tracer, i * 100.0, clean=False)
+                 for i in range(10)]
+        trace = build_trace(tracer, sample_every=1000)
+        kept_roots = {event["args"]["span_id"]
+                      for event in trace["traceEvents"]
+                      if event["ph"] == "X" and event["name"] == "query"}
+        assert kept_roots == set(dirty)
+
+    def test_clean_chains_sampled_one_in_n(self):
+        tracer = SpanTracer()
+        roots = [make_chain(tracer, i * 100.0) for i in range(12)]
+        trace = build_trace(tracer, sample_every=4)
+        # roots are span ids 1, 5, 9, ...; kept when id % 4 == 1
+        expected = {root for root in roots if root % 4 == 1}
+        kept = {event["args"]["span_id"]
+                for event in trace["traceEvents"]
+                if event["ph"] == "X" and event["name"] == "query"}
+        assert kept == expected
+        assert trace["otherData"]["chains_exported"] == len(expected)
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            build_trace(SpanTracer(), sample_every=0)
+
+
+class TestDeterminism:
+    @staticmethod
+    def run_once(tmp_path, tag):
+        telemetry = CampaignTelemetry()
+        config = CampaignConfig(seed=11, duration_days=0.02)
+        run_limewire_campaign(config, GnutellaProfile().scaled(0.35),
+                              telemetry=telemetry)
+        path = tmp_path / f"{tag}.json"
+        write_trace(telemetry.tracer, path, sample_every=8)
+        return path.read_bytes()
+
+    def test_same_seed_runs_serialize_byte_identically(self, tmp_path):
+        first = self.run_once(tmp_path, "a")
+        second = self.run_once(tmp_path, "b")
+        assert first == second
+
+    def test_output_is_valid_trace_event_json(self, tmp_path):
+        payload = json.loads(self.run_once(tmp_path, "c"))
+        assert payload["traceEvents"], "campaign produced no spans"
+        assert all(event["ph"] in VALID_PHASES
+                   for event in payload["traceEvents"])
+        # wall-clock never leaks into the serialization
+        assert b"wall" not in self.run_once(tmp_path, "d")
+
+    def test_infections_in_real_campaign_link_back_to_queries(self,
+                                                              tmp_path):
+        telemetry = CampaignTelemetry()
+        config = CampaignConfig(seed=11, duration_days=0.02)
+        run_limewire_campaign(config, GnutellaProfile().scaled(0.35),
+                              telemetry=telemetry)
+        roots = chain_roots(telemetry.tracer)
+        infected = infected_roots(telemetry.tracer, roots)
+        assert infected, "campaign recorded no infections"
+        by_id = {span.span_id: span for span in telemetry.tracer.spans()}
+        for root in infected:
+            assert by_id[root].name == "query"
