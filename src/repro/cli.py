@@ -234,8 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run detlint: determinism rules (DET001-DET006) and the "
-             "layer-DAG check (LAY001/LAY002) over src/")
+        help="run detlint: determinism rules (DET001-DET008), the "
+             "layer-DAG check (LAY001/LAY002), the twin-drift check "
+             "(TWN001) and the concurrency lint (CONC001-CONC003) "
+             "over src/")
     lint.add_argument("paths", type=Path, nargs="*",
                       help="files/directories to lint (default: the "
                            "configured package under src/)")
@@ -244,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: nearest ancestor of cwd)")
     lint.add_argument("--strict", action="store_true",
                       help="also fail on unused baseline entries")
+    lint.add_argument("--sarif", type=Path, default=None, metavar="PATH",
+                      help="additionally write the findings as a SARIF "
+                           "2.1.0 log to PATH")
+    lint.add_argument("--changed-only", action="store_true",
+                      help="lint only files changed vs HEAD (plus "
+                           "untracked); cross-file twin checks and "
+                           "unused-baseline strictness are skipped on "
+                           "the subset walk")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="bypass the .detlint-cache/ result cache "
+                           "(the cache never changes output, only "
+                           "speed)")
 
     selfcheck = subparsers.add_parser(
         "selfcheck",
@@ -269,6 +283,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "reference (slow) data plane and demand "
                                 "identical event digests, store sha256 "
                                 "and headline metrics")
+    selfcheck.add_argument("--lock-order", action="store_true",
+                           help="instead of the digest check, record "
+                                "every lock acquisition while a "
+                                "telemetry server is scraped during a "
+                                "tiny campaign and fail on lock-order "
+                                "cycles")
 
     profile = subparsers.add_parser(
         "profile",
@@ -567,15 +587,62 @@ def _find_repo_root(start: Optional[Path] = None) -> Path:
     return current
 
 
+def _changed_python_files(root: Path) -> Optional[List[Path]]:
+    """Files changed vs HEAD plus untracked ones, or None outside git."""
+    import subprocess
+
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    names: List[str] = []
+    for command in commands:
+        try:
+            out = subprocess.run(command, cwd=root, capture_output=True,
+                                 text=True, check=True).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.extend(line.strip() for line in out.splitlines()
+                     if line.strip())
+    return sorted({root / name for name in names
+                   if name.endswith(".py") and (root / name).exists()})
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .devtools.detlint import BaselineError, lint_repo
+    from .devtools.detlint import (BaselineError, lint_repo, load_config,
+                                   render_sarif)
 
     root = args.root if args.root is not None else _find_repo_root()
+    paths = [Path(p) for p in args.paths] or None
+    if args.changed_only:
+        changed = _changed_python_files(root)
+        if changed is None:
+            print("error: --changed-only needs a git checkout",
+                  file=sys.stderr)
+            return 2
+        # only files the full walk would cover (src/<package>/): tests
+        # and tooling scripts are out of scope for detlint
+        config = load_config(root)
+        package_root = root / config.src / config.package
+        changed = [path for path in changed
+                   if package_root in path.parents]
+        if not changed:
+            print("detlint: no python files changed vs HEAD, "
+                  "nothing to lint")
+            return 0
+        paths = changed
     try:
-        result = lint_repo(root, paths=args.paths or None)
+        result = lint_repo(root, paths=paths,
+                           use_cache=not args.no_cache,
+                           partial=args.changed_only)
     except BaselineError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(render_sarif(result.findings),
+                              encoding="utf-8")
+        print(f"sarif log written to {args.sarif}")
     print(result.render(strict=args.strict))
     return result.exit_code(strict=args.strict)
 
@@ -586,6 +653,15 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
+    if args.lock_order:
+        from .devtools.selfcheck import run_lock_order_check
+
+        report = run_lock_order_check(network=args.network,
+                                      seed=args.base_seed,
+                                      days=min(args.days, 0.05),
+                                      scale=args.scale)
+        print(report.render())
+        return 0 if report.ok else 1
     seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
     print(f"selfcheck: {args.network}, seeds {list(seeds)}, "
           f"{args.days:g} virtual days per run, sanitizer "

@@ -1,21 +1,43 @@
 """detlint: the determinism & layering linter (``repro-study lint``).
 
-An AST-based static-analysis pass purpose-built for this repo's core
-invariant -- same seed, same bits.  See :mod:`.rules` for the DET
-rule catalogue, :mod:`.layering` for the import-DAG check and
-:mod:`.engine` for configuration/baseline semantics.
+An AST-based static-analysis suite purpose-built for this repo's core
+invariant -- same seed, same bits.  Four pass families:
+
+* :mod:`.rules` -- the syntactic DET rule catalogue (DET001-006);
+* :mod:`.dataflow` -- intra-procedural taint (DET007/DET008): entropy
+  and iteration-order taint tracked through assignments until it
+  reaches a scheduling/seed/message sink;
+* :mod:`.layering` -- the import-DAG check (LAY001/LAY002);
+* :mod:`.twins` -- the fast/reference twin-drift check (TWN001) over
+  pairs declared in ``[tool.detlint.twins]``;
+* :mod:`.concurrency` -- shared-state lint (CONC001-003) for the
+  telemetry threads that run alongside the simulation.
+
+:mod:`.engine` holds configuration/baseline semantics, :mod:`.cache`
+the content-addressed result cache and :mod:`.sarif` the SARIF export.
 """
 
-from .engine import (BaselineError, LintConfig, LintResult, collect_modules,
-                     lint_modules, lint_repo, load_baseline, load_config)
+from .cache import CACHE_DIR_NAME, LintCache, config_digest
+from .concurrency import check_concurrency
+from .dataflow import check_dataflow
+from .engine import (BASELINE_ALLOWED_CODES, BaselineError, LintConfig,
+                     LintResult, collect_modules, lint_modules, lint_repo,
+                     load_baseline, load_config, module_passes)
 from .findings import Finding, Module, Rule, parse_module
-from .layering import ImportEdge, check_layers, extract_edges
+from .layering import ImportEdge, check_edges, check_layers, extract_edges
 from .rules import DEFAULT_RULES, all_rules
+from .sarif import render_sarif, to_sarif
+from .twins import TwinMember, TwinPair, check_twins, parse_twins
 
 __all__ = [
-    "BaselineError", "LintConfig", "LintResult", "collect_modules",
-    "lint_modules", "lint_repo", "load_baseline", "load_config",
+    "BASELINE_ALLOWED_CODES", "BaselineError", "LintConfig", "LintResult",
+    "collect_modules", "lint_modules", "lint_repo", "load_baseline",
+    "load_config", "module_passes",
     "Finding", "Module", "Rule", "parse_module",
-    "ImportEdge", "check_layers", "extract_edges",
+    "ImportEdge", "check_edges", "check_layers", "extract_edges",
     "DEFAULT_RULES", "all_rules",
+    "check_dataflow", "check_concurrency",
+    "TwinMember", "TwinPair", "check_twins", "parse_twins",
+    "CACHE_DIR_NAME", "LintCache", "config_digest",
+    "render_sarif", "to_sarif",
 ]

@@ -1,19 +1,32 @@
 """The detlint engine: configuration, file walk, baseline, verdict.
 
 Configuration lives in ``pyproject.toml`` under ``[tool.detlint]`` so
-the declared layer DAG is versioned next to the package metadata it
-describes.  The engine is itself held to the determinism bar it
-enforces: the file walk is sorted, rule order is fixed, and findings
-are sorted by ``(path, line, col, code)`` -- two runs over the same
-tree always print byte-identical reports.
+the declared layer DAG and the twin registry are versioned next to the
+package metadata they describe.  The engine is itself held to the
+determinism bar it enforces: the file walk is sorted, rule order is
+fixed, and findings are sorted by ``(path, line, col, code)`` -- two
+runs over the same tree always print byte-identical reports, cached or
+cold.
 
-The baseline file is the *only* sanctioned suppression mechanism and
-it accepts nothing but DET002 (wall-clock) entries: the telemetry
-layer legitimately reads ``perf_counter`` to observe the simulation,
-and the kernel's sampled-callback timing is part of that whitelist.
-Every entry must carry an annotation (a ``#`` comment) explaining why
-the wall-clock read cannot perturb simulation state.  Any other code
-in the baseline is a configuration error, not a suppression.
+Four pass families run per lint:
+
+1. the syntactic rules (DET001-DET006, ``rules.py``);
+2. the dataflow taint pass (DET007/DET008, ``dataflow.py``);
+3. the concurrency pass (CONC001-CONC003, ``concurrency.py``);
+4. cross-file checks: the layer DAG (LAY001/LAY002, ``layering.py``)
+   and the twin registry (TWN001, ``twins.py``).
+
+The first three are per-module and memoize through the content-
+addressed cache (``cache.py``); the cross-file checks re-run every
+time over cached edges / freshly parsed twin members.
+
+The baseline file is the *only* sanctioned suppression mechanism.  It
+started as a DET002-only wall-clock whitelist; the dataflow, twin and
+concurrency codes may now be grandfathered too -- but every entry must
+carry an annotation (a ``#`` comment) explaining why the finding
+cannot perturb simulation state, and the hard-error codes (DET001,
+DET004-DET006, the LAY codes) stay unbaselineable: there is never a
+good reason for bare randomness or a layering violation.
 """
 
 from __future__ import annotations
@@ -23,9 +36,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .cache import LintCache, config_digest
+from .concurrency import check_concurrency
+from .dataflow import check_dataflow
 from .findings import Finding, Module, parse_module
-from .layering import check_layers
+from .layering import ImportEdge, check_edges, extract_edges
 from .rules import all_rules
+from .twins import TwinPair, check_twins, parse_twins
 
 try:  # python >= 3.11
     import tomllib
@@ -35,8 +52,12 @@ except ImportError:  # pragma: no cover - older interpreters
 __all__ = ["LintConfig", "LintResult", "load_config", "collect_modules",
            "lint_modules", "lint_repo", "BaselineError"]
 
-#: the only rule code the baseline may suppress (telemetry wall time)
-BASELINE_ALLOWED_CODES = ("DET002",)
+#: rule codes the baseline may suppress (annotated grandfathering only).
+#: DET002 is the historical telemetry wall-time whitelist; the analysis
+#: passes added in v2 may be baselined while their findings are burned
+#: down.  DET001/004/005/006 and the layering codes are hard errors.
+BASELINE_ALLOWED_CODES = ("DET002", "DET003", "DET007", "DET008",
+                          "TWN001", "CONC001", "CONC002", "CONC003")
 
 
 class BaselineError(ValueError):
@@ -55,6 +76,7 @@ class LintConfig:
     rng_modules: Tuple[str, ...] = ()
     layers: Dict[str, Sequence[str]] = field(default_factory=dict)
     deferred_imports: Set[Tuple[str, str]] = field(default_factory=set)
+    twins: List[TwinPair] = field(default_factory=list)
 
     @property
     def src_dir(self) -> Path:
@@ -94,6 +116,7 @@ def load_config(root: Path) -> LintConfig:
         rng_modules=tuple(table.get("rng_modules", ())),
         layers=dict(table.get("layers", {})),
         deferred_imports=_parse_deferred(table.get("deferred_imports", ())),
+        twins=parse_twins(table.get("twins", {})),
     )
 
 
@@ -102,13 +125,10 @@ def _excluded(relpath: str, exclude: Tuple[str, ...]) -> bool:
                relpath == prefix for prefix in exclude)
 
 
-def collect_modules(config: LintConfig,
-                    paths: Optional[Sequence[Path]] = None) -> List[Module]:
-    """Parse every lintable file, in sorted (deterministic) order.
-
-    Without ``paths``, walks ``<src>/<package>``; with ``paths``, lints
-    exactly those files/directories (still applying the excludes).
-    """
+def _collect_files(config: LintConfig,
+                   paths: Optional[Sequence[Path]] = None
+                   ) -> List[Tuple[Path, str, str]]:
+    """(abspath, relpath, dotted) per lintable file, sorted."""
     package_dir = config.src_dir / config.package
     roots = [Path(p) for p in paths] if paths else [package_dir]
     files: List[Path] = []
@@ -117,7 +137,7 @@ def collect_modules(config: LintConfig,
             files.extend(entry.rglob("*.py"))
         elif entry.suffix == ".py":
             files.append(entry)
-    modules: List[Module] = []
+    collected: List[Tuple[Path, str, str]] = []
     for path in sorted(set(file.resolve() for file in files)):
         try:
             rel_src = path.relative_to(config.src_dir.resolve())
@@ -130,9 +150,19 @@ def collect_modules(config: LintConfig,
             relpath = path.relative_to(config.root.resolve()).as_posix()
         except ValueError:
             relpath = path.as_posix()
-        dotted = _dotted_name(rel_src)
-        modules.append(parse_module(path, relpath, dotted))
-    return modules
+        collected.append((path, relpath, _dotted_name(rel_src)))
+    return collected
+
+
+def collect_modules(config: LintConfig,
+                    paths: Optional[Sequence[Path]] = None) -> List[Module]:
+    """Parse every lintable file, in sorted (deterministic) order.
+
+    Without ``paths``, walks ``<src>/<package>``; with ``paths``, lints
+    exactly those files/directories (still applying the excludes).
+    """
+    return [parse_module(path, relpath, dotted)
+            for path, relpath, dotted in _collect_files(config, paths)]
 
 
 def _dotted_name(rel_src: Path) -> str:
@@ -150,6 +180,10 @@ class LintResult:
     suppressed: List[Finding]
     unused_baseline: List[str]
     files_checked: int
+    #: True when only a subset of files was linted (--changed-only):
+    #: unused-baseline accounting is meaningless for a partial walk
+    partial: bool = False
+    cache_hits: int = 0
 
     @property
     def clean(self) -> bool:
@@ -157,14 +191,15 @@ class LintResult:
 
     def render(self, strict: bool = False) -> str:
         lines = [finding.render() for finding in self.findings]
-        for entry in self.unused_baseline:
-            lines.append(f"warning: unused baseline entry: {entry}")
+        if not self.partial:
+            for entry in self.unused_baseline:
+                lines.append(f"warning: unused baseline entry: {entry}")
         lines.append(
             f"detlint: {self.files_checked} files, "
             f"{len(self.findings)} finding"
             f"{'' if len(self.findings) == 1 else 's'}"
             f" ({len(self.suppressed)} baselined)")
-        if strict and self.unused_baseline:
+        if strict and self.unused_baseline and not self.partial:
             lines.append("detlint: strict mode: unused baseline entries "
                          "are errors")
         return "\n".join(lines)
@@ -172,13 +207,13 @@ class LintResult:
     def exit_code(self, strict: bool = False) -> int:
         if self.findings:
             return 1
-        if strict and self.unused_baseline:
+        if strict and self.unused_baseline and not self.partial:
             return 1
         return 0
 
 
 def load_baseline(path: Path) -> List[Tuple[str, str]]:
-    """Parse ``CODE path  # why`` lines; reject non-wall-clock codes."""
+    """Parse ``CODE path  # why`` lines; reject unbaselineable codes."""
     entries: List[Tuple[str, str]] = []
     for raw_line in path.read_text(encoding="utf-8").splitlines():
         line = raw_line.split("#", 1)[0].strip()
@@ -191,40 +226,107 @@ def load_baseline(path: Path) -> List[Tuple[str, str]]:
         code, entry_path = parts
         if code not in BASELINE_ALLOWED_CODES:
             raise BaselineError(
-                f"baseline may only whitelist {BASELINE_ALLOWED_CODES} "
-                f"(telemetry wall time); found {code} for {entry_path}")
+                f"baseline may only whitelist {BASELINE_ALLOWED_CODES}; "
+                f"found {code} for {entry_path} -- that code is a hard "
+                "error, fix the finding instead")
         if "#" not in raw_line:
             raise BaselineError(
                 f"baseline entry {entry_path} lacks an annotation -- every "
-                "wall-clock whitelist entry must say why it is safe")
+                "grandfathered finding must say why it is safe")
         entries.append((code, entry_path))
     return entries
 
 
+def module_passes(module: Module, config: LintConfig) -> List[Finding]:
+    """Every per-module pass: syntactic rules, dataflow, concurrency."""
+    findings: List[Finding] = []
+    for error in module.errors:
+        findings.append(Finding(module.relpath, 1, 0, "DET000",
+                                error, "fix the syntax error"))
+    for rule in all_rules(config.rng_modules):
+        findings.extend(rule.check(module))
+    findings.extend(check_dataflow(module, config.rng_modules))
+    findings.extend(check_concurrency(module))
+    return sorted(findings)
+
+
+def _cross_passes(config: LintConfig, edges: Sequence[ImportEdge],
+                  twin_modules: Sequence[Module],
+                  run_twins: bool = True) -> List[Finding]:
+    findings: List[Finding] = []
+    if config.layers:
+        findings.extend(check_edges(edges, config.layers,
+                                    config.deferred_imports))
+    if config.twins and run_twins:
+        findings.extend(check_twins(twin_modules, config.twins))
+    return findings
+
+
 def lint_modules(modules: Sequence[Module],
                  config: LintConfig) -> List[Finding]:
-    """Run every rule plus the layering check; findings come back sorted."""
+    """Run every pass over parsed modules; findings come back sorted."""
     findings: List[Finding] = []
-    rules = all_rules(config.rng_modules)
     for module in modules:
-        for error in module.errors:
-            findings.append(Finding(module.relpath, 1, 0, "DET000",
-                                    error, "fix the syntax error"))
-        for rule in rules:
-            findings.extend(rule.check(module))
-    if config.layers:
-        findings.extend(check_layers(modules, config.layers,
-                                     config.deferred_imports,
-                                     package=config.package))
+        findings.extend(module_passes(module, config))
+    findings.extend(_cross_passes(
+        config, extract_edges(modules, package=config.package), modules))
     return sorted(findings)
 
 
 def lint_repo(root: Path, paths: Optional[Sequence[Path]] = None,
-              config: Optional[LintConfig] = None) -> LintResult:
-    """Lint the repo rooted at ``root`` (the directory of pyproject.toml)."""
+              config: Optional[LintConfig] = None,
+              use_cache: bool = False,
+              partial: bool = False) -> LintResult:
+    """Lint the repo rooted at ``root`` (the directory of pyproject.toml).
+
+    With ``use_cache=True``, per-module findings and import edges are
+    memoized under ``<root>/.detlint-cache/`` keyed by file content --
+    output is byte-identical to a cold run.  ``partial=True`` marks a
+    subset walk (``--changed-only``): unused-baseline strictness is
+    suspended, since entries for unwalked files are not stale.
+    """
     config = config or load_config(Path(root))
-    modules = collect_modules(config, paths)
-    findings = lint_modules(modules, config)
+    partial = partial or paths is not None
+    files = _collect_files(config, paths)
+    cache = LintCache(config.root, config_digest(config)) if use_cache \
+        else None
+    findings: List[Finding] = []
+    edges: List[ImportEdge] = []
+    twin_dotted = {member.module for pair in config.twins
+                   for member in pair.members}
+    twin_modules: List[Module] = []
+    for path, relpath, dotted in files:
+        module: Optional[Module] = None
+        entry = None
+        if cache is not None:
+            data = path.read_bytes()
+            key = cache.key(relpath, data)
+            entry = cache.get(key)
+            if entry is not None:
+                findings.extend(cache.findings_of(entry))
+                edges.extend(cache.edges_of(entry))
+        if entry is None:
+            if cache is not None:
+                module = parse_module(path, relpath, dotted,
+                                      source=data.decode("utf-8"))
+            else:
+                module = parse_module(path, relpath, dotted)
+            module_findings = module_passes(module, config)
+            module_edges = extract_edges([module], package=config.package)
+            findings.extend(module_findings)
+            edges.extend(module_edges)
+            if cache is not None:
+                cache.put(key, module_findings, module_edges)
+        if dotted in twin_dotted:
+            if module is None:
+                module = parse_module(path, relpath, dotted)
+            twin_modules.append(module)
+    # a subset walk (explicit paths / --changed-only) may simply not
+    # include the twin members: a missing member is only a finding when
+    # the whole tree was walked
+    findings.extend(_cross_passes(config, edges, twin_modules,
+                                  run_twins=paths is None))
+    findings = sorted(findings)
     suppressed: List[Finding] = []
     unused: List[str] = []
     baseline_path = config.baseline_path
@@ -243,4 +345,6 @@ def lint_repo(root: Path, paths: Optional[Sequence[Path]] = None,
         unused = [f"{code} {path}" for code, path in entries
                   if (code, path) not in used]
     return LintResult(findings=findings, suppressed=suppressed,
-                      unused_baseline=unused, files_checked=len(modules))
+                      unused_baseline=unused, files_checked=len(files),
+                      partial=partial,
+                      cache_hits=cache.hits if cache else 0)

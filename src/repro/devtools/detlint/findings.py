@@ -71,9 +71,15 @@ class Rule(Protocol):
         ...  # pragma: no cover
 
 
-def parse_module(path: Path, relpath: str, dotted: str) -> Module:
-    """Read and parse one file; syntax errors become module.errors."""
-    source = path.read_text(encoding="utf-8")
+def parse_module(path: Path, relpath: str, dotted: str,
+                 source: str = None) -> Module:
+    """Read and parse one file; syntax errors become module.errors.
+
+    Pass ``source`` to parse already-read bytes (the cache path reads
+    each file exactly once, for hashing and parsing both).
+    """
+    if source is None:
+        source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
         errors: List[str] = []

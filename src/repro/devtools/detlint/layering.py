@@ -29,7 +29,8 @@ from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from .findings import Finding, Module
 
-__all__ = ["ImportEdge", "extract_edges", "check_layers", "ROOT_LAYER"]
+__all__ = ["ImportEdge", "extract_edges", "check_layers", "check_edges",
+           "ROOT_LAYER"]
 
 #: layer key for modules directly under the top package (cli.py, __init__.py)
 ROOT_LAYER = "<root>"
@@ -143,8 +144,16 @@ def check_layers(modules: Sequence[Module],
     allows everything.  ``deferred_allowed`` is a set of
     ``(src, dst)`` pairs additionally permitted inside functions.
     """
+    return check_edges(extract_edges(modules, package=package), layers,
+                       deferred_allowed)
+
+
+def check_edges(edges: Sequence[ImportEdge],
+                layers: Dict[str, Sequence[str]],
+                deferred_allowed: Set[Tuple[str, str]]) -> List[Finding]:
+    """The DAG check over already-extracted edges (cache-friendly)."""
     findings: List[Finding] = []
-    for edge in extract_edges(modules, package=package):
+    for edge in edges:
         if edge.src_layer == edge.dst_layer:
             continue
         declared = layers.get(edge.src_layer)

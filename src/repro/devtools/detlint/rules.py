@@ -307,6 +307,21 @@ def _walk_scope(body: List[ast.stmt]) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
+def _iter_stmts_ordered(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements in source order, not descending into nested scopes."""
+    for node in body:
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for block in ("body", "orelse", "finalbody"):
+            inner = getattr(node, block, None)
+            if inner:
+                yield from _iter_stmts_ordered(inner)
+        for handler in getattr(node, "handlers", ()):
+            yield from _iter_stmts_ordered(handler.body)
+
+
 class UnorderedIterRule:
     """DET003: unordered set iteration feeding the scheduler or RNG.
 
@@ -341,6 +356,23 @@ class UnorderedIterRule:
                             node.value is not None and \
                             _is_set_expr(node.value, set_names):
                         set_names.add(node.target.id)
+            # third pass, in source order: a name rebound to a non-set
+            # value (``s = sorted(s)``) stops being set-typed from that
+            # point on -- without the kill, the sorted copy kept firing
+            for node in _iter_stmts_ordered(scope.body):
+                if isinstance(node, ast.Assign):
+                    is_set = _is_set_expr(node.value, set_names)
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            (set_names.add if is_set
+                             else set_names.discard)(target.id)
+                elif isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name) and \
+                        node.value is not None:
+                    if _is_set_expr(node.value, set_names):
+                        set_names.add(node.target.id)
+                    else:
+                        set_names.discard(node.target.id)
             for node in _walk_scope(scope.body):
                 if isinstance(node, ast.For) and \
                         _is_unordered_iter(node.iter, set_names):

@@ -18,6 +18,7 @@ campaign actually *did not*.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,10 +27,12 @@ from ..core.measure.campaign import (CampaignConfig, run_limewire_campaign,
                                      run_openft_campaign)
 from ..simnet import fastpath
 from ..telemetry.runtime import CampaignTelemetry
-from .sanitizer import DeterminismSanitizer, EntropyViolation, EventDigest
+from .sanitizer import (DeterminismSanitizer, EntropyViolation, EventDigest,
+                        LockOrderRecorder)
 
 __all__ = ["SeedCheck", "SelfcheckReport", "EquivalenceCheck",
-           "run_digest_campaign", "run_equivalence_check", "run_selfcheck"]
+           "LockOrderReport", "run_digest_campaign", "run_equivalence_check",
+           "run_lock_order_check", "run_selfcheck"]
 
 
 @dataclass(frozen=True)
@@ -233,3 +236,92 @@ def run_selfcheck(network: str = "limewire",
     return SelfcheckReport(checks=tuple(checks),
                            cross_seed_distinct=cross_distinct,
                            sanitizer_armed=_probe_sanitizer())
+
+
+@dataclass(frozen=True)
+class LockOrderReport:
+    """Result of the runtime lock-order check (``selfcheck --lock-order``)."""
+
+    network: str
+    seed: int
+    locks_tracked: int
+    edge_count: int
+    scrapes: int
+    cycles: Tuple[Tuple[str, ...], ...]
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        # zero tracked locks would mean the recorder never saw the
+        # telemetry plane get built -- that is a broken check, not a pass
+        return self.locks_tracked > 0 and self.scrapes > 0 \
+            and not self.cycles
+
+    def render(self) -> str:
+        lines = [f"lock-order check ({self.network}, seed {self.seed}): "
+                 f"{self.scrapes} live scrapes during the campaign",
+                 self.detail,
+                 "lock-order: " + ("PASS" if self.ok else "FAIL")]
+        return "\n".join(lines)
+
+
+def run_lock_order_check(network: str = "limewire", seed: int = 1,
+                         days: float = 0.05,
+                         scale: float = 0.35) -> LockOrderReport:
+    """Record every lock acquisition while scraping a live campaign.
+
+    The runtime counterpart of detlint's static CONC002 pass: under a
+    :class:`LockOrderRecorder`, build the full telemetry plane (hub +
+    HTTP server), hammer it from a scrape thread over real HTTP while
+    an instrumented campaign runs on the mainline, and fail on any
+    cycle in the observed lock-acquisition graph.
+    """
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from ..telemetry.httpd import ObservatoryHub, TelemetryServer
+
+    if network == "limewire":
+        runner = run_limewire_campaign
+        from ..peers.profiles import GnutellaProfile
+        profile = GnutellaProfile().scaled(scale)
+    elif network == "openft":
+        runner = run_openft_campaign
+        from ..peers.profiles import OpenFTProfile
+        profile = OpenFTProfile().scaled(scale)
+    else:
+        raise ValueError(f"unknown network {network!r}")
+
+    scrapes = [0]
+    with LockOrderRecorder() as recorder:
+        hub = ObservatoryHub(title="lock-order selfcheck")
+        telemetry = CampaignTelemetry()
+        hub.add_campaign(network, telemetry)
+        server = TelemetryServer(hub).start()
+        url = server.url
+        stop = threading.Event()
+
+        def scrape() -> None:
+            while not stop.is_set():
+                for endpoint in ("/metrics", "/healthz", "/snapshot.json"):
+                    try:
+                        with urlopen(url + endpoint, timeout=1) as response:
+                            response.read()
+                        scrapes[0] += 1
+                    except (OSError, URLError):  # pragma: no cover
+                        pass
+
+        scraper = threading.Thread(target=scrape, name="lock-order-scraper",
+                                   daemon=True)
+        scraper.start()
+        try:
+            config = CampaignConfig(seed=seed, duration_days=days)
+            runner(config, profile=profile, telemetry=telemetry)
+        finally:
+            stop.set()
+            scraper.join(timeout=5.0)
+            server.stop()
+    return LockOrderReport(
+        network=network, seed=seed, locks_tracked=recorder.locks_created,
+        edge_count=len(recorder.edges), scrapes=scrapes[0],
+        cycles=tuple(recorder.cycles()), detail=recorder.render())

@@ -460,35 +460,44 @@ class TelemetryServer:
         self.hub = hub
         self.host = host
         self._requested_port = port
+        # start()/stop() and the running/port/url reads race: callers
+        # hand ``self`` to scrape threads (cli's serve loop reads
+        # ``server.url`` while the mainline may be tearing down), so
+        # the server-handle fields go through one lock.
+        self._state_lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
     def start(self) -> "TelemetryServer":
         """Bind and serve in a background daemon thread; returns self."""
-        if self._httpd is not None:
-            return self
-        httpd = ThreadingHTTPServer((self.host, self._requested_port),
-                                    _ObservatoryHandler)
-        httpd.daemon_threads = True
-        httpd.hub = self.hub  # type: ignore[attr-defined]
-        self._httpd = httpd
-        self._thread = threading.Thread(
-            target=httpd.serve_forever, name="telemetry-httpd",
-            daemon=True)
-        self._thread.start()
+        with self._state_lock:
+            if self._httpd is not None:
+                return self
+            httpd = ThreadingHTTPServer((self.host, self._requested_port),
+                                        _ObservatoryHandler)
+            httpd.daemon_threads = True
+            httpd.hub = self.hub  # type: ignore[attr-defined]
+            thread = threading.Thread(
+                target=httpd.serve_forever, name="telemetry-httpd",
+                daemon=True)
+            self._httpd = httpd
+            self._thread = thread
+        thread.start()
         return self
 
     @property
     def running(self) -> bool:
         """True between :meth:`start` and :meth:`stop`."""
-        return self._httpd is not None
+        with self._state_lock:
+            return self._httpd is not None
 
     @property
     def port(self) -> int:
         """The bound port (the requested one before :meth:`start`)."""
-        if self._httpd is not None:
-            return self._httpd.server_address[1]
-        return self._requested_port
+        with self._state_lock:
+            if self._httpd is not None:
+                return self._httpd.server_address[1]
+            return self._requested_port
 
     @property
     def url(self) -> str:
@@ -497,10 +506,13 @@ class TelemetryServer:
 
     def stop(self) -> None:
         """Shut down, close the socket and join the accept thread."""
-        httpd, thread = self._httpd, self._thread
-        self._httpd = self._thread = None
+        with self._state_lock:
+            httpd, thread = self._httpd, self._thread
+            self._httpd = self._thread = None
         if httpd is None:
             return
+        # shutdown() blocks until serve_forever() returns -- never hold
+        # the state lock across it or a concurrent port read deadlocks
         httpd.shutdown()
         if thread is not None:
             thread.join(timeout=5.0)

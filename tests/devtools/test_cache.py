@@ -1,0 +1,120 @@
+"""Lint cache, --changed-only and SARIF export."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.devtools.detlint import (Finding, LintCache, config_digest,
+                                    load_config, render_sarif, to_sarif)
+
+
+def _cache(tmp_path):
+    root = Path(__file__).resolve().parents[2]
+    return LintCache(tmp_path, config_digest(load_config(root)))
+
+
+class TestLintCache:
+    def test_roundtrip(self, tmp_path):
+        cache = _cache(tmp_path)
+        finding = Finding("src/repro/x.py", 3, 0, "DET002",
+                          "wall clock", "use sim.now")
+        key = cache.key("src/repro/x.py", b"import time\n")
+        assert cache.get(key) is None
+        cache.put(key, [finding], [])
+        entry = cache.get(key)
+        assert LintCache.findings_of(entry) == [finding]
+        assert LintCache.edges_of(entry) == []
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_tracks_content_and_path(self, tmp_path):
+        cache = _cache(tmp_path)
+        base = cache.key("a.py", b"x = 1\n")
+        assert cache.key("a.py", b"x = 2\n") != base
+        assert cache.key("b.py", b"x = 1\n") != base
+
+    def test_key_tracks_config(self, tmp_path):
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root)
+        other = LintCache(tmp_path, config_digest(config) + "x")
+        cache = _cache(tmp_path)
+        assert cache.key("a.py", b"") != other.key("a.py", b"")
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = cache.key("a.py", b"x = 1\n")
+        cache.put(key, [], [])
+        (cache.directory / f"{key}.json").write_text("not json")
+        assert cache.get(key) is None
+
+    def test_entry_without_schema_fields_rejected(self, tmp_path):
+        cache = _cache(tmp_path)
+        key = cache.key("a.py", b"x = 1\n")
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        (cache.directory / f"{key}.json").write_text('{"other": 1}')
+        assert cache.get(key) is None
+
+
+class TestChangedOnly:
+    def test_no_changes_is_a_clean_exit(self, capsys, monkeypatch):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "_changed_python_files", lambda root: [])
+        root = Path(__file__).resolve().parents[2]
+        code = main(["lint", "--changed-only", "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nothing to lint" in out
+
+    def test_subset_walk_skips_unused_baseline_strictness(self, capsys,
+                                                          monkeypatch):
+        import repro.cli as cli
+        root = Path(__file__).resolve().parents[2]
+        target = root / "src/repro/simnet/kernel.py"
+        monkeypatch.setattr(cli, "_changed_python_files",
+                            lambda _root: [target])
+        code = main(["lint", "--changed-only", "--strict",
+                     "--root", str(root)])
+        out = capsys.readouterr().out
+        # the full-tree baseline has entries for unwalked files; a
+        # subset walk must not call them stale
+        assert code == 0, out
+        assert "unused baseline" not in out
+
+    def test_changed_file_discovery_runs_git(self):
+        from repro.cli import _changed_python_files
+        root = Path(__file__).resolve().parents[2]
+        changed = _changed_python_files(root)
+        assert changed is None or all(
+            str(path).endswith(".py") for path in changed)
+
+
+class TestSarif:
+    def test_log_structure_with_findings(self):
+        findings = [
+            Finding("src/repro/b.py", 9, 4, "DET007", "laundered", "fix"),
+            Finding("src/repro/a.py", 2, 0, "CONC001", "race", "lock it"),
+        ]
+        log = to_sarif(findings)
+        run = log["runs"][0]
+        assert [rule["id"] for rule in run["tool"]["driver"]["rules"]] == \
+            ["CONC001", "DET007"]
+        results = run["results"]
+        assert len(results) == 2
+        # results come sorted by finding order (path, line, ...)
+        assert results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"] == "src/repro/a.py"
+        assert results[0]["ruleIndex"] == 0
+        assert results[1]["ruleId"] == "DET007"
+        assert "fix:" in results[1]["message"]["text"]
+        assert results[1]["locations"][0]["physicalLocation"][
+            "region"] == {"startLine": 9, "startColumn": 5}
+
+    def test_render_is_deterministic(self):
+        findings = [Finding("src/repro/a.py", 1, 0, "DET002", "m", "h")]
+        assert render_sarif(findings) == render_sarif(list(findings))
+        parsed = json.loads(render_sarif(findings))
+        assert parsed["version"] == "2.1.0"
+
+    def test_empty_log_has_no_rules(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []

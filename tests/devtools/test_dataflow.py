@@ -1,0 +1,167 @@
+"""Dataflow taint (DET007/DET008): seeded-mutation pairs.
+
+Every test class pairs a known-bad fixture (the check must fire) with
+its fixed twin (the check must stay silent) -- the acceptance bar for
+a lint rule is both directions, or it is either blind or noisy.
+"""
+
+import textwrap
+
+from .conftest import codes, dataflow_source
+
+
+def lint(snippet, **kwargs):
+    return dataflow_source(textwrap.dedent(snippet), **kwargs)
+
+
+class TestDET007LaunderedEntropy:
+    def test_bad_wall_clock_laundered_into_delay(self):
+        findings = lint("""
+            import time
+
+            def kick(sim, cb):
+                jitter = time.time() % 1.0
+                sim.after(jitter, cb)
+        """)
+        assert "DET007" in codes(findings)
+
+    def test_fixed_stream_draw_is_silent(self):
+        findings = lint("""
+            def kick(sim, cb):
+                jitter = sim.stream("churn").uniform(0.0, 1.0)
+                sim.after(jitter, cb)
+        """)
+        assert findings == []
+
+    def test_bad_entropy_through_helper_return(self):
+        findings = lint("""
+            import time
+
+            def _now_ish():
+                return time.time() * 0.5
+
+            def kick(sim, cb):
+                delay = _now_ish()
+                sim.after(delay, cb)
+        """)
+        assert "DET007" in codes(findings)
+
+    def test_bad_entropy_into_helper_sink_param(self):
+        findings = lint("""
+            import time
+
+            def _schedule(sim, delay, cb):
+                sim.after(delay, cb)
+
+            def kick(sim, cb):
+                noisy = time.time() % 1.0
+                _schedule(sim, noisy, cb)
+        """)
+        assert "DET007" in codes(findings)
+
+    def test_bad_environ_laundered_into_seed(self):
+        findings = lint("""
+            import os
+
+            def make_seed():
+                salt = os.environ.get("SALT", "0")
+                return int(salt)
+
+            def build(sim):
+                sim.stream("x").seed(make_seed())
+        """)
+        assert "DET007" in codes(findings)
+
+    def test_direct_source_at_sink_stays_det002_territory(self):
+        # time.time() directly inside the sink call is DET002's finding;
+        # the dataflow pass must not double-report it
+        findings = lint("""
+            import time
+
+            def kick(sim, cb):
+                sim.after(time.time() % 1.0, cb)
+        """)
+        assert findings == []
+
+
+class TestDET008OrderTaint:
+    def test_bad_set_pop_reaches_scheduler(self):
+        findings = lint("""
+            def drain(sim, peers):
+                alive = set(peers)
+                first = alive.pop()
+                sim.at(5.0, first)
+        """)
+        assert "DET008" in codes(findings)
+
+    def test_fixed_sorted_pop_is_silent(self):
+        findings = lint("""
+            def drain(sim, peers):
+                alive = sorted(set(peers))
+                first = alive.pop()
+                sim.at(5.0, first)
+        """)
+        assert findings == []
+
+    def test_bad_loop_variable_escapes_loop(self):
+        findings = lint("""
+            def pick(sim, peers):
+                chosen = None
+                for peer in set(peers):
+                    chosen = peer
+                sim.after(1.0, chosen)
+        """)
+        assert "DET008" in codes(findings)
+
+    def test_in_loop_sink_stays_det003_territory(self):
+        # the sink lexically inside the iterating loop is DET003's
+        # finding; the dataflow pass must not double-report it
+        findings = lint("""
+            def fanout(sim, peers):
+                for peer in set(peers):
+                    sim.after(1.0, peer)
+        """)
+        assert findings == []
+
+    def test_cleanser_kills_order_taint(self):
+        findings = lint("""
+            def count(sim, peers):
+                alive = set(peers)
+                depth = len(alive)
+                sim.after(float(depth), None)
+        """)
+        assert findings == []
+
+    def test_reassignment_to_ordered_value_kills_taint(self):
+        findings = lint("""
+            def drain(sim, peers):
+                alive = set(peers)
+                alive = sorted(alive)
+                head = alive[0]
+                sim.at(5.0, head)
+        """)
+        assert findings == []
+
+
+class TestDataflowOnRealTreeConventions:
+    def test_rng_module_itself_is_exempt(self):
+        findings = lint("""
+            import time
+
+            def reseed(sim):
+                noisy = time.time()
+                sim.stream("x").seed(noisy)
+        """, dotted="repro.simnet.rng", relpath="src/repro/simnet/rng.py")
+        assert findings == []
+
+    def test_findings_are_sorted_and_deduped(self):
+        findings = lint("""
+            import time
+
+            def kick(sim, cb):
+                a = time.time() % 1.0
+                sim.after(a, cb)
+                sim.after(a, cb)
+        """)
+        assert findings == sorted(findings)
+        assert len(set(findings)) == len(findings)

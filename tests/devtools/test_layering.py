@@ -147,3 +147,90 @@ class TestRepoDAGMatchesReality:
         layering = [f for f in result.findings
                     if f.code.startswith("LAY")]
         assert layering == []
+
+
+class TestCheckEdgesDirect:
+    """check_edges over hand-built edges (the cache rehydration path)."""
+
+    def _edge(self, src, dst, deferred=False):
+        from repro.devtools.detlint import ImportEdge
+        return ImportEdge(src_layer=src, dst_layer=dst,
+                          path=f"src/pkg/{src}/mod.py", line=3, col=0,
+                          deferred=deferred, statement=f"pkg.{dst}.mod")
+
+    def test_deferred_core_to_devtools_shape_is_declared(self):
+        # the repo's own sanctioned escape hatch: core loads the
+        # sanitizer inside run_replications(sanitize=True) only
+        from repro.devtools.detlint import check_edges
+        edge = self._edge("core", "devtools", deferred=True)
+        layers = {"core": ["simnet"], "devtools": ["*"]}
+        assert check_edges([edge], layers, {("core", "devtools")}) == []
+        undeclared = check_edges([edge], layers, set())
+        assert [f.code for f in undeclared] == ["LAY002"]
+
+    def test_module_level_edge_ignores_deferred_declaration(self):
+        from repro.devtools.detlint import check_edges
+        edge = self._edge("core", "devtools", deferred=False)
+        layers = {"core": ["simnet"], "devtools": ["*"]}
+        findings = check_edges([edge], layers, {("core", "devtools")})
+        assert [f.code for f in findings] == ["LAY001"]
+
+    def test_cached_edges_equal_fresh_extraction(self, tmp_path):
+        # rehydrated ImportEdges must drive check_edges to the same
+        # verdicts as freshly extracted ones
+        from repro.devtools.detlint import (LintCache, check_edges,
+                                            config_digest, load_config)
+        config = build_package(tmp_path, {
+            "low/__init__.py": "VALUE = 1\n",
+            "mid/__init__.py": "from ..low import VALUE\n"
+                               "def bad():\n"
+                               "    from pkg import high\n",
+            "high/__init__.py": "from ..mid import VALUE\n",
+        })
+        modules = collect_modules(config)
+        edges = extract_edges(modules, package="pkg")
+        cache = LintCache(tmp_path, "digest")
+        key = cache.key("edges", b"")
+        cache.put(key, [], edges)
+        rehydrated = LintCache.edges_of(cache.get(key))
+        assert rehydrated == edges
+        fresh = check_edges(edges, LAYERS, set())
+        again = check_edges(rehydrated, LAYERS, set())
+        assert fresh == again
+        assert [f.code for f in fresh] == ["LAY002"]
+
+
+class TestRealDeferredEdges:
+    """The live tree's deferred escape hatches stay exactly as declared."""
+
+    def test_declared_deferred_edges_cover_the_tree(self):
+        from repro.devtools.detlint import (extract_edges, collect_modules,
+                                            load_config)
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root)
+        assert ("core", "devtools") in config.deferred_imports
+        edges = extract_edges(collect_modules(config))
+        deferred = {(e.src_layer, e.dst_layer) for e in edges if e.deferred
+                    and e.src_layer != e.dst_layer}
+        allowed_at_module_level = set()
+        for src, targets in config.layers.items():
+            for dst in targets:
+                allowed_at_module_level.add((src, dst))
+        escape_hatches = {pair for pair in deferred
+                          if pair not in allowed_at_module_level
+                          and "*" not in config.layers.get(pair[0], ())}
+        assert escape_hatches <= config.deferred_imports
+
+    def test_telemetry_never_imports_the_networks(self):
+        # telemetry's kernel hook is duck-typed on purpose: the kernel
+        # calls telemetry.on_event(...) without telemetry importing
+        # simnet, gnutella or openft -- even deferred
+        from repro.devtools.detlint import (extract_edges, collect_modules,
+                                            load_config)
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root)
+        edges = extract_edges(collect_modules(config))
+        telemetry_out = {e.dst_layer for e in edges
+                        if e.src_layer == "telemetry"
+                        and e.dst_layer != "telemetry"}
+        assert telemetry_out == set()

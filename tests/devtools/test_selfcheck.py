@@ -79,14 +79,54 @@ class TestRepoIsClean:
         assert code == 0, f"detlint found hazards:\n{out}"
         assert "0 findings" in out
 
-    def test_baseline_only_whitelists_telemetry_wall_time(self):
-        from repro.devtools.detlint import load_baseline
+    def test_lint_cached_run_is_byte_identical(self, capsys):
+        from repro.devtools.detlint import lint_repo
+        root = Path(__file__).resolve().parents[2]
+        cold = lint_repo(root, use_cache=False)
+        warm = lint_repo(root, use_cache=True)  # populates
+        hot = lint_repo(root, use_cache=True)  # all hits
+        assert cold.render(strict=True) == warm.render(strict=True) \
+            == hot.render(strict=True)
+        assert hot.cache_hits > 0
+
+    def test_baseline_entries_stay_annotated_and_allowed(self):
+        from repro.devtools.detlint import (BASELINE_ALLOWED_CODES,
+                                            load_baseline)
         root = Path(__file__).resolve().parents[2]
         entries = load_baseline(root / "detlint-baseline.txt")
         assert entries, "baseline should carry the telemetry whitelist"
-        assert all(code == "DET002" for code, _ in entries)
+        # load_baseline enforces annotations + the allowed-code policy;
+        # re-assert the policy itself so a loosening shows up here
+        assert all(code in BASELINE_ALLOWED_CODES for code, _ in entries)
+        assert "DET001" not in BASELINE_ALLOWED_CODES
+        assert "LAY001" not in BASELINE_ALLOWED_CODES
         assert all("telemetry" in path or "kernel" in path
                    for _, path in entries)
+
+    def test_baseline_rejects_unannotated_entry(self, tmp_path):
+        from repro.devtools.detlint import BaselineError, load_baseline
+        bad = tmp_path / "baseline.txt"
+        bad.write_text("DET002 src/repro/telemetry/spans.py\n")
+        with pytest.raises(BaselineError, match="annotation"):
+            load_baseline(bad)
+
+    def test_baseline_rejects_hard_error_codes(self, tmp_path):
+        from repro.devtools.detlint import BaselineError, load_baseline
+        bad = tmp_path / "baseline.txt"
+        bad.write_text("DET001 src/repro/core/x.py  # please\n")
+        with pytest.raises(BaselineError, match="hard error"):
+            load_baseline(bad)
+
+
+class TestLockOrderCheck:
+    def test_lock_order_check_passes_on_clean_tree(self):
+        from repro.devtools.selfcheck import run_lock_order_check
+        report = run_lock_order_check(days=0.02, scale=0.25)
+        assert report.ok, report.render()
+        assert report.locks_tracked > 0
+        assert report.scrapes > 0
+        assert not report.cycles
+        assert "lock-order: PASS" in report.render()
 
 
 class TestCli:
@@ -97,3 +137,23 @@ class TestCli:
         assert code == 0
         assert "selfcheck: PASS" in out
         assert "caught injected random.random()" in out
+
+    def test_cli_selfcheck_lock_order(self, capsys):
+        code = main(["selfcheck", "--lock-order", "--days", "0.02",
+                     "--scale", "0.25"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lock-order: PASS" in out
+
+    def test_cli_lint_sarif_output(self, capsys, tmp_path):
+        import json
+        root = Path(__file__).resolve().parents[2]
+        sarif_path = tmp_path / "lint.sarif"
+        code = main(["lint", "--strict", "--root", str(root),
+                     "--sarif", str(sarif_path)])
+        assert code == 0
+        log = json.loads(sarif_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "detlint"
+        # clean tree: no results, and the file is deterministic
+        assert log["runs"][0]["results"] == []

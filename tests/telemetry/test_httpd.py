@@ -300,3 +300,96 @@ class TestServerLifecycle:
             status, _headers, _body = fetch(server.url + "healthz")
             assert status == 200
         assert not server.running
+
+
+class TestLifecycleRace:
+    """Regression for the start/stop vs scrape-thread race (CONC001).
+
+    The server-handle fields (``_httpd``/``_thread``) used to be set
+    and cleared with no lock while handler threads and `serve`-style
+    callers read ``running``/``port``/``url``; detlint's concurrency
+    pass flagged it and the fields now go through ``_state_lock``.
+    This test hammers exactly that interleaving.
+    """
+
+    def test_lifecycle_churn_under_concurrent_state_reads(self):
+        hub = ObservatoryHub(title="race test")
+        server = TelemetryServer(hub, port=0)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    # all three go through the state lock; they must
+                    # never raise or see a half-built server
+                    running = server.running
+                    port = server.port
+                    url = server.url
+                    assert isinstance(running, bool)
+                    assert isinstance(port, int)
+                    assert url.startswith("http://")
+                except Exception as error:  # noqa: BLE001
+                    failures.append(repr(error))
+                    return
+
+        readers = [threading.Thread(target=reader, daemon=True)
+                   for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(10):
+                server.start()
+                assert server.running
+                server.stop()
+                assert not server.running
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+        assert failures == []
+
+    def test_scrapes_survive_shutdown_mid_flight(self):
+        # handler threads in flight while stop() runs: every request
+        # either completes with 200 or fails with a socket error --
+        # never a hang, never a torn read of the handle fields
+        telemetry = CampaignTelemetry()
+        telemetry.registry.counter("hits_total", "Hits.").inc()
+        hub = ObservatoryHub(title="race test")
+        hub.add_campaign("limewire", telemetry)
+        server = TelemetryServer(hub, port=0).start()
+        url = server.url
+        results = []
+
+        def scraper():
+            while True:
+                try:
+                    status, _headers, _body = fetch(url + "metrics",
+                                                    timeout=5)
+                    results.append(status)
+                except Exception:  # noqa: BLE001 - refused after stop
+                    results.append(None)
+                    return
+
+        scrapers = [threading.Thread(target=scraper, daemon=True)
+                    for _ in range(4)]
+        for thread in scrapers:
+            thread.start()
+        # let them get some scrapes in, then yank the server
+        while len(results) < 8:
+            pass
+        server.stop()
+        for thread in scrapers:
+            thread.join(timeout=15)
+            assert not thread.is_alive(), "scraper hung across stop()"
+        assert all(status == 200 for status in results
+                   if status is not None)
+
+    def test_double_start_returns_same_server(self):
+        server = TelemetryServer(ObservatoryHub(), port=0).start()
+        try:
+            port = server.port
+            assert server.start() is server
+            assert server.port == port
+        finally:
+            server.stop()
