@@ -12,6 +12,7 @@ The subcommands mirror the study's workflow::
     repro-study hotspots  --network limewire --days 0.1
     repro-study lint      --strict
     repro-study selfcheck --seeds 2
+    repro-study doctor    checkpoints/ --repair
 
 ``run`` simulates the campaigns and writes raw measurement stores as
 JSON-lines; ``replicate`` runs the same campaign under several seeds
@@ -28,16 +29,20 @@ runs a fully instrumented campaign and dumps its Prometheus metrics,
 span chains and JSONL run journal (``tail -f`` the journal while it
 runs).
 
-The last two are the correctness tooling: ``lint`` runs detlint (the
-determinism & layering static-analysis pass) over ``src/`` and
+The last three are the correctness tooling: ``lint`` runs detlint (the
+determinism & layering static-analysis pass) over ``src/``,
 ``selfcheck`` proves at runtime that same-seed campaigns replay to
-identical event-stream digests with the entropy sanitizer armed.
+identical event-stream digests with the entropy sanitizer armed, and
+``doctor`` verifies (and with ``--repair`` fixes) on-disk artifacts
+after a crash -- reporting exactly what a checkpoint resume would
+recover.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -119,6 +124,38 @@ def build_parser() -> argparse.ArgumentParser:
                            help="serve the fan-out live on one aggregated "
                                 "observability endpoint (0 = ephemeral "
                                 "port; requires --telemetry-dir)")
+    replicate.add_argument("--supervise", action="store_true",
+                           help="run workers under heartbeat supervision: "
+                                "hung or stalled workers are killed, "
+                                "requeued with backoff, and quarantined "
+                                "instead of blocking the campaign")
+    replicate.add_argument("--deadline", type=float, default=300.0,
+                           metavar="SECONDS",
+                           help="wall-clock budget per supervised attempt "
+                                "(default: 300)")
+    replicate.add_argument("--stall-timeout", type=float, default=60.0,
+                           metavar="SECONDS",
+                           help="max heartbeat silence before a supervised "
+                                "worker is declared wedged (default: 60)")
+    replicate.add_argument("--hang-seeds", type=int, nargs="*", default=None,
+                           metavar="SEED",
+                           help="chaos: inject a worker hang for these "
+                                "seeds (every attempt; the supervisor must "
+                                "kill and quarantine them -- requires "
+                                "--supervise)")
+
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="verify on-disk artifacts (checkpoints, journals, JSON "
+             "exports): report what a resume would recover and, with "
+             "--repair, truncate torn tails and quarantine corrupt "
+             "records")
+    doctor.add_argument("paths", type=Path, nargs="+",
+                        help="artifact files or directories to examine")
+    doctor.add_argument("--repair", action="store_true",
+                        help="fix what can be fixed: truncate torn tails, "
+                             "move corrupt records to a .quarantine side "
+                             "file, delete stale atomic-write temp files")
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -351,12 +388,31 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         print("error: --serve-port requires --telemetry-dir",
               file=sys.stderr)
         return 2
+    if args.hang_seeds and not args.supervise:
+        print("error: --hang-seeds requires --supervise (an unsupervised "
+              "pool would hang forever)", file=sys.stderr)
+        return 2
     seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
     workers = resolve_workers(args.workers, len(seeds))
     config = CampaignConfig(duration_days=args.days)
+    supervision = None
+    if args.supervise:
+        from .resilience import SupervisionPolicy
+        supervision = SupervisionPolicy(
+            deadline_s=args.deadline,
+            stall_timeout_s=args.stall_timeout,
+            heartbeat_s=min(1.0, args.stall_timeout / 2.0))
+    if args.hang_seeds:
+        from .faults import FaultPlan, WorkerHang
+        # attempts=2: the retry hangs too, forcing the quarantine path
+        config = replace(config, fault_plan=FaultPlan(
+            worker_hang=WorkerHang(seeds=tuple(args.hang_seeds),
+                                   attempts=2)))
     print(f"replicating {args.network} over seeds {list(seeds)} "
           f"({args.days:g} virtual days each, {workers} worker"
-          f"{'s' if workers != 1 else ''})...")
+          f"{'s' if workers != 1 else ''}"
+          f"{', supervised' if supervision else ''})...")
+    kills = []
     report = run_replications(args.network, seeds, config,
                               workers=workers,
                               telemetry_dir=args.telemetry_dir,
@@ -365,7 +421,14 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
                               journal_interval_s=args.journal_interval,
                               serve_port=args.serve_port,
                               on_serve=lambda url: print(
-                                  f"observability endpoint: {url}"))
+                                  f"observability endpoint: {url}"),
+                              supervision=supervision,
+                              on_kill=kills.append)
+    for kill in kills:
+        seed, attempt = kill.item
+        print(f"supervisor: killed seed {seed} attempt {attempt} "
+              f"(kill #{kill.kills}: {kill.reason}; "
+              f"{'requeued' if kill.requeued else 'gave up'})")
     print(report.render())
     if report.telemetry_path is not None:
         print(f"\nmerged telemetry ({len(report.registry)} metrics) "
@@ -639,12 +702,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.sarif is not None:
-        args.sarif.parent.mkdir(parents=True, exist_ok=True)
-        args.sarif.write_text(render_sarif(result.findings),
-                              encoding="utf-8")
+        from .resilience import atomic_write_text
+        atomic_write_text(args.sarif, render_sarif(result.findings))
         print(f"sarif log written to {args.sarif}")
     print(result.render(strict=args.strict))
     return result.exit_code(strict=args.strict)
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Exit 0 = all healthy, 1 = damage found (or repaired), 2 = usage."""
+    from .resilience import run_doctor
+
+    report = run_doctor(args.paths, repair=args.repair)
+    print(report.render())
+    if not report.artifacts:
+        return 2
+    # detection-only runs signal damage via the exit code; a repair run
+    # exits 0 when everything it found could be fixed
+    if not report.damaged:
+        return 0
+    return 0 if args.repair and report.ok else 1
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
@@ -819,7 +896,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "filter-eval": _cmd_filter_eval, "export": _cmd_export,
                 "telemetry": _cmd_telemetry, "profile": _cmd_profile,
                 "serve": _cmd_serve, "hotspots": _cmd_hotspots,
-                "lint": _cmd_lint, "selfcheck": _cmd_selfcheck}
+                "lint": _cmd_lint, "selfcheck": _cmd_selfcheck,
+                "doctor": _cmd_doctor}
     return handlers[args.command](args)
 
 

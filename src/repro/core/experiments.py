@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import functools
 import hashlib
-import json
 import traceback
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults import InjectedWorkerCrash
+from ..resilience import (DurableAppender, HostIntervention,
+                          SupervisionPolicy, atomic_write_text,
+                          recover_frames, supervised_map)
 from ..telemetry.registry import MetricRegistry
 from ..telemetry.runtime import CampaignTelemetry
 from .analysis.concentration import top_n_share
@@ -25,7 +27,7 @@ from .analysis.prevalence import compute_prevalence
 from .analysis.sources import address_breakdown
 from .measure.campaign import (CampaignConfig, CampaignResult,
                                run_limewire_campaign, run_openft_campaign)
-from .parallel import merge_worker_registries, parallel_map
+from .parallel import merge_worker_registries, parallel_map, resolve_workers
 
 __all__ = ["MetricSummary", "ReplicationReport", "HEADLINE_METRICS",
            "SeedFailure", "CheckpointJournal", "replicate_one",
@@ -239,39 +241,69 @@ def _experiment_fingerprint(network: str, config: CampaignConfig,
 
 
 class CheckpointJournal:
-    """Append-only JSONL journal of completed replication seeds.
+    """Crash-safe journal of completed replication seeds.
 
-    First line is a header binding the journal to one experiment
-    fingerprint; every further line is one completed seed with its
+    First record is a header binding the journal to one experiment
+    fingerprint; every further record is one completed seed with its
     metrics (and registry snapshot when telemetry is on).  Rerunning
     ``run_replications`` with the same ``checkpoint`` path skips the
     recorded seeds and completes the rest, producing a report identical
     to an uninterrupted run.
+
+    Records are CRC32-framed and fsynced per append (see
+    :mod:`repro.resilience.store`); pre-framing journals load fine and
+    are upgraded in place the first time a repair touches them.  A
+    SIGKILL mid-append leaves a torn final line, which :meth:`_load`
+    truncates away on the next open -- the torn record was never
+    acknowledged, so nothing committed is lost.  ``io`` accepts a
+    chaotic-IO hook (:class:`repro.faults.injectors.HostIOFaults`);
+    injected write failures degrade journaling (counted in
+    ``write_errors``) instead of killing the run.
     """
 
-    def __init__(self, path: Path, fingerprint: str) -> None:
+    def __init__(self, path: Path, fingerprint: str, io=None) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self._io = io
         #: seed -> journal entry for every recorded completion
         self.completed: Dict[int, dict] = {}
+        #: appends that failed (and were survived) this run
+        self.write_errors = 0
+        self._appender = DurableAppender(self.path, framed=True, io=io)
         if self.path.exists():
             self._load()
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._append({"kind": "header", "fingerprint": fingerprint})
+            self._appender.append({"kind": "header",
+                                   "fingerprint": fingerprint})
 
     def _load(self) -> None:
-        entries = [json.loads(line)
-                   for line in self.path.read_text("utf-8").splitlines()
-                   if line.strip()]
-        if not entries or entries[0].get("kind") != "header":
+        # repair=True truncates a torn tail (a crash mid-append) and
+        # quarantines corrupt interior records before we append after
+        # them -- appending onto a torn fragment would weld two records
+        # into one corrupt line
+        scan = recover_frames(self.path, repair=True)
+        entries = [entry for entry in scan.records
+                   if isinstance(entry, dict)]
+        if not entries:
+            # empty or torn-before-the-header-committed: nothing was
+            # ever recorded, so start the journal fresh
+            self._appender.append({"kind": "header",
+                                   "fingerprint": self.fingerprint})
+            return
+        if entries[0].get("kind") != "header":
             raise ValueError(f"{self.path}: not a replication checkpoint")
         found = entries[0].get("fingerprint")
         if found != self.fingerprint:
             raise ValueError(
                 f"{self.path}: checkpoint was written by a different "
-                f"experiment configuration; delete it or point "
-                f"--checkpoint elsewhere")
+                f"experiment configuration (its fingerprint "
+                f"{str(found)[:12]}... does not match this run's "
+                f"{self.fingerprint[:12]}...).  If that journal belongs "
+                f"to another experiment, point --checkpoint somewhere "
+                f"else; if you changed the configuration on purpose, "
+                f"delete the file and rerun from scratch.  "
+                f"`repro-study doctor {self.path}` shows what it holds.")
         for entry in entries[1:]:
             if entry.get("kind") == "seed":
                 self.completed[int(entry["seed"])] = entry
@@ -285,11 +317,27 @@ class CheckpointJournal:
         entry = {"kind": "seed", "seed": seed, "metrics": metrics,
                  "snapshot": snapshot}
         self.completed[seed] = entry
-        self._append(entry)
+        try:
+            self._appender.append(entry)
+        except OSError:
+            # a full or injected-chaotic disk must degrade journaling,
+            # not kill the campaign: the seed stays completed in memory
+            # and simply is not resumable.  Clean the torn bytes the
+            # failed append may have left so the next one lands whole.
+            self.write_errors += 1
+            self._repair_tail()
 
-    def _append(self, obj: dict) -> None:
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(obj, sort_keys=True) + "\n")
+    def _repair_tail(self) -> None:
+        self._appender.close()
+        try:
+            recover_frames(self.path, repair=True)
+        except OSError:
+            pass
+        self._appender = DurableAppender(self.path, framed=True,
+                                         io=self._io)
+
+    def close(self) -> None:
+        self._appender.close()
 
 
 def run_replications(network: str, seeds: Sequence[int],
@@ -302,6 +350,8 @@ def run_replications(network: str, seeds: Sequence[int],
                      serve_port: Optional[int] = None,
                      serve_host: str = "127.0.0.1",
                      on_serve: Optional[Callable[[str], None]] = None,
+                     supervision: Optional[SupervisionPolicy] = None,
+                     on_kill: Optional[Callable] = None,
                      ) -> ReplicationReport:
     """Run one campaign per seed and summarize the headline metrics.
 
@@ -337,6 +387,17 @@ def run_replications(network: str, seeds: Sequence[int],
     ephemeral port; ``on_serve(url)`` fires once the server is up.
     The server is read-only -- results are bit-identical with it on
     or off.
+
+    ``supervision`` swaps the plain process pool for the supervised
+    one (:func:`repro.resilience.supervisor.supervised_map`): workers
+    heartbeat, hung or stalled workers are killed and requeued with
+    backoff, and a worker whose every requeue dies degrades into the
+    same retry-then-quarantine path a crashing worker takes -- a
+    wedged host can slow the campaign but never hang it.  Per-seed
+    results stay bit-identical to an unsupervised run; ``on_kill``
+    observes every watchdog intervention.  Worker-hang/-stall clauses
+    in the fault plan are enforced only under supervision (an
+    unsupervised run must not be able to wedge itself).
     """
     if network not in HEADLINE_METRICS:
         raise ValueError(f"unknown network {network!r}")
@@ -345,11 +406,17 @@ def run_replications(network: str, seeds: Sequence[int],
                          "journals and snapshots live there)")
     metric_fns = HEADLINE_METRICS[network]
     seeds = list(seeds)
+    plan = config.fault_plan
     journal = None
     if checkpoint is not None:
+        journal_io = None
+        if plan and plan.io_clauses:
+            from ..faults.injectors import HostIOFaults
+            journal_io = HostIOFaults(plan, seed=config.seed)
         journal = CheckpointJournal(
             Path(checkpoint),
-            _experiment_fingerprint(network, config, profile))
+            _experiment_fingerprint(network, config, profile),
+            io=journal_io)
     completed: Dict[int, tuple] = {}
     if journal is not None:
         for seed in seeds:
@@ -388,10 +455,40 @@ def run_replications(network: str, seeds: Sequence[int],
                                telemetry_dir=telemetry_dir,
                                sanitize=sanitize,
                                journal_interval_s=journal_interval_s)
+
+    if supervision is not None:
+        hang = plan.worker_hang if plan else None
+        stall = plan.worker_stall if plan else None
+
+        def intervention(seed_attempt) -> Optional[HostIntervention]:
+            seed, attempt = seed_attempt
+            if hang is not None and hang.should_hang(seed, attempt):
+                return HostIntervention(kind="hang", seconds=hang.hang_s)
+            if stall is not None and stall.should_stall(seed, attempt):
+                return HostIntervention(kind="stall",
+                                        seconds=stall.stall_s)
+            return None
+
+        def supervised_failure(seed_attempt, reason: str) -> _SeedOutcome:
+            seed, attempt = seed_attempt
+            return _SeedOutcome(seed=seed, attempt=attempt, ok=False,
+                                error=f"supervision: {reason}")
+
+        def fan_out(items):
+            return supervised_map(
+                worker, items,
+                workers=resolve_workers(workers, len(items)),
+                policy=supervision, intervention=intervention,
+                failure=supervised_failure, on_result=on_result,
+                on_kill=on_kill)
+    else:
+        def fan_out(items):
+            return parallel_map(worker, items, workers=workers,
+                                on_result=on_result)
+
     pending = [seed for seed in seeds if seed not in completed]
     try:
-        outcomes = parallel_map(worker, [(seed, 0) for seed in pending],
-                                workers=workers, on_result=on_result)
+        outcomes = fan_out([(seed, 0) for seed in pending])
         to_retry: List[int] = []
         for outcome in outcomes:
             if outcome.ok:
@@ -400,8 +497,7 @@ def run_replications(network: str, seeds: Sequence[int],
                 to_retry.append(outcome.seed)
         failures: Dict[int, _SeedOutcome] = {}
         if to_retry:
-            retried = parallel_map(worker, [(seed, 1) for seed in to_retry],
-                                   workers=workers, on_result=on_result)
+            retried = fan_out([(seed, 1) for seed in to_retry])
             for outcome in retried:
                 if outcome.ok:
                     completed[outcome.seed] = (outcome.metrics,
@@ -411,6 +507,8 @@ def run_replications(network: str, seeds: Sequence[int],
     finally:
         if server is not None:
             server.stop()
+        if journal is not None:
+            journal.close()
     survivors = [seed for seed in seeds if seed in completed]
     if not survivors:
         first = failures[seeds[0]] if seeds[0] in failures else (
@@ -426,8 +524,7 @@ def run_replications(network: str, seeds: Sequence[int],
             [completed[seed][1] for seed in survivors])
         telemetry_path = (Path(telemetry_dir)
                           / f"{network}_merged_metrics.prom")
-        telemetry_path.write_text(registry.render_prometheus(),
-                                  encoding="utf-8")
+        atomic_write_text(telemetry_path, registry.render_prometheus())
     per_metric: Dict[str, List[float]] = {name: [] for name in metric_fns}
     for seed in survivors:
         metrics = completed[seed][0]

@@ -11,6 +11,12 @@ Degradation is deliberate and silent: ``workers <= 1``, a missing
 ``multiprocessing`` implementation (some sandboxes), or a pool that dies
 on startup all fall back to the plain serial loop.  Correctness never
 depends on the pool -- it is a wall-clock optimisation only.
+
+This pool *trusts* its workers: a wedged worker blocks the pool
+forever.  Campaigns that must survive hostile hosts pass
+``supervision=`` to ``run_replications``, which swaps in the
+heartbeat-watchdog pool from :mod:`repro.resilience.supervisor`
+instead -- same input-order result contract, same picklability rules.
 """
 
 from __future__ import annotations

@@ -17,18 +17,25 @@ Two injection surfaces:
 * :class:`FetchFaults` rides the downloader's fetch path for
   slow-serve stalls and payload truncation/corruption.
 
-Pipeline-level chaos (worker crashes in ``run_replications``) is
-declared here too (:class:`WorkerCrash`) but enforced by
-:mod:`repro.core.experiments`.
+Host-level chaos is declared here too but enforced elsewhere: worker
+crashes (:class:`WorkerCrash`) by ``run_replications``, worker
+hangs/stalls (:class:`WorkerHang` / :class:`WorkerStall`) by the
+supervised pool in :mod:`repro.resilience.supervisor`, and chaotic IO
+(:class:`TornWrite` / :class:`DiskFull` / :class:`SlowFsync`) by
+:class:`HostIOFaults` hooking the crash-safe artifact store.
 """
 
-from .injectors import FaultInjector, FetchFaults, FetchIntervention
-from .plan import (FaultPlan, InjectedWorkerCrash, LatencyStorm, LossBurst,
-                   Partition, PeerCrash, SlowServe, Tamper, WorkerCrash,
+from .injectors import (FaultInjector, FetchFaults, FetchIntervention,
+                        HostIOFaults)
+from .plan import (DiskFull, FaultPlan, InjectedWorkerCrash, LatencyStorm,
+                   LossBurst, Partition, PeerCrash, SlowFsync, SlowServe,
+                   Tamper, TornWrite, WorkerCrash, WorkerHang, WorkerStall,
                    SEVERITIES)
 
 __all__ = [
     "FaultPlan", "LossBurst", "LatencyStorm", "Partition", "PeerCrash",
-    "SlowServe", "Tamper", "WorkerCrash", "InjectedWorkerCrash",
+    "SlowServe", "Tamper", "WorkerCrash", "WorkerHang", "WorkerStall",
+    "TornWrite", "DiskFull", "SlowFsync", "InjectedWorkerCrash",
     "SEVERITIES", "FaultInjector", "FetchFaults", "FetchIntervention",
+    "HostIOFaults",
 ]

@@ -21,11 +21,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..files.payload import Blob
 from ..simnet.kernel import Simulator
+from ..simnet.rng import SeededStream
 from ..simnet.transport import Envelope, Transport
-from .plan import (FaultPlan, LatencyStorm, LossBurst, Partition, PeerCrash,
-                   SlowServe, Tamper)
+from .plan import (DiskFull, FaultPlan, LatencyStorm, LossBurst, Partition,
+                   PeerCrash, SlowFsync, SlowServe, Tamper, TornWrite)
 
-__all__ = ["FaultInjector", "FetchFaults", "FetchIntervention"]
+__all__ = ["FaultInjector", "FetchFaults", "FetchIntervention",
+           "HostIOFaults"]
 
 
 class _StormLatency:
@@ -311,3 +313,85 @@ class FetchFaults:
         if stall_s == 0.0 and tamper is None:
             return None
         return FetchIntervention(stall_s=stall_s, tamper=tamper)
+
+
+class HostIOFaults:
+    """Chaotic host IO: enforce a plan's ``io_clauses`` on artifact writes.
+
+    This shim implements the duck-typed hook interface of
+    :mod:`repro.resilience.store` (``apply_write`` / ``on_fsync``)
+    without that module ever importing this layer.  Like every other
+    injector, all randomness comes from one named seeded stream, so
+    which write ordinal gets torn -- and at which byte -- is a pure
+    function of (seed, write order): the crash-recovery tests can
+    replay the exact same carnage twice.
+
+    Unlike the simulated-time injectors this one acts on *real* disk
+    writes; a :class:`~repro.faults.plan.SlowFsync` clause therefore
+    burns real wall-clock time, which is the point (it models the
+    overloaded artifact disk, not the overlay).
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int, registry=None) -> None:
+        self.torn_clauses = tuple(clause for clause in plan.io_clauses
+                                  if isinstance(clause, TornWrite))
+        self.disk_full_clauses = tuple(clause for clause in plan.io_clauses
+                                       if isinstance(clause, DiskFull))
+        self.fsync_clauses = tuple(clause for clause in plan.io_clauses
+                                   if isinstance(clause, SlowFsync))
+        self._stream = SeededStream(seed, "faults:io")
+        # tear lengths come from their own stream so an at_ops-only
+        # firing never advances the fire-decision draws
+        self._len_stream = SeededStream(seed, "faults:io:len")
+        #: write ordinal, incremented per apply_write call
+        self.ops = 0
+        self.injected: Dict[str, int] = {}
+        self._counter = None
+        if registry is not None:
+            self._counter = registry.counter(
+                "faults_injected_total",
+                "Fault actions performed by the chaos injectors.",
+                labels=("kind",))
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if self._counter is not None:
+            self._counter.labels(kind).inc()
+
+    def _fires(self, clause, op: int) -> bool:
+        # the bernoulli draw is unconditional so the stream advances
+        # identically whether or not at_ops short-circuits: adding an
+        # explicit ordinal must not reshuffle later probabilistic tears
+        drew = self._stream.bernoulli(clause.probability) \
+            if clause.probability else False
+        return op in clause.at_ops or drew
+
+    def apply_write(self, path, data: bytes):
+        """Decide one write's fate: (bytes actually written, error).
+
+        DiskFull wins over TornWrite when both fire: it is strictly
+        nastier (partial bytes *and* an exception).
+        """
+        op = self.ops
+        self.ops += 1
+        for clause in self.disk_full_clauses:
+            if self._fires(clause, op):
+                keep = self._len_stream.randint(0, max(0, len(data) - 1))
+                self._count("disk-full")
+                import errno
+                return data[:keep], OSError(
+                    errno.ENOSPC, "injected: no space left on device",
+                    str(path))
+        for clause in self.torn_clauses:
+            if self._fires(clause, op):
+                keep = self._len_stream.randint(0, max(0, len(data) - 1))
+                self._count("torn-write")
+                return data[:keep], None
+        return data, None
+
+    def on_fsync(self, path) -> None:
+        import time
+        for clause in self.fsync_clauses:
+            if self._stream.bernoulli(clause.probability):
+                self._count("slow-fsync")
+                time.sleep(clause.delay_s)

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 __all__ = ["LossBurst", "LatencyStorm", "Partition", "PeerCrash",
-           "SlowServe", "Tamper", "WorkerCrash", "InjectedWorkerCrash",
-           "FaultPlan", "SEVERITIES"]
+           "SlowServe", "Tamper", "WorkerCrash", "WorkerHang",
+           "WorkerStall", "TornWrite", "DiskFull", "SlowFsync",
+           "InjectedWorkerCrash", "FaultPlan", "SEVERITIES"]
 
 
 class InjectedWorkerCrash(RuntimeError):
@@ -171,8 +172,116 @@ class WorkerCrash:
         return seed in self.seeds and attempt < self.attempts
 
 
+@dataclass(frozen=True)
+class WorkerHang:
+    """Pipeline-level chaos: named seeds' workers wedge instead of working.
+
+    A hung worker sleeps silently -- no heartbeats, no result, no exit.
+    Only the supervisor's stall watchdog can unstick the run, which is
+    exactly what this clause exists to prove.  ``attempts`` counts how
+    many attempts hang before the seed computes normally (2 = the retry
+    hangs too, forcing quarantine).  Enforced by the supervised pool's
+    worker shim, never inside the simulator: an unsupervised run must
+    not be able to wedge itself.
+    """
+
+    seeds: Tuple[int, ...]
+    attempts: int = 1
+    #: how long the wedged worker would sleep if nothing killed it
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be positive, got {self.hang_s!r}")
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+
+    def should_hang(self, seed: int, attempt: int) -> bool:
+        """True when the worker for ``seed`` must wedge on ``attempt``."""
+        return seed in self.seeds and attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """Named seeds' workers freeze for ``stall_s`` before computing.
+
+    Unlike :class:`WorkerHang` the worker eventually recovers on its
+    own -- but it does not heartbeat while frozen, so a stall longer
+    than the watchdog's patience still draws a kill.  The boundary
+    between the two is the experiment.
+    """
+
+    seeds: Tuple[int, ...]
+    attempts: int = 1
+    stall_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.stall_s <= 0:
+            raise ValueError(f"stall_s must be positive, "
+                             f"got {self.stall_s!r}")
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+
+    def should_stall(self, seed: int, attempt: int) -> bool:
+        return seed in self.seeds and attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Chaotic IO: truncate a fraction of artifact appends mid-record.
+
+    A selected write commits only a seeded-length byte prefix -- the
+    on-disk shape a power cut leaves.  ``at_ops`` additionally names
+    exact write ordinals (0-based, per injector) to tear, for
+    byte-precise crash-recovery tests.
+    """
+
+    probability: float = 0.0
+    at_ops: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+        object.__setattr__(self, "at_ops", tuple(self.at_ops))
+
+
+@dataclass(frozen=True)
+class DiskFull:
+    """Chaotic IO: a write commits partial bytes then raises ENOSPC.
+
+    The dirtiest failure a journal can meet: the torn bytes are on
+    disk *and* the writer sees an exception.
+    """
+
+    probability: float = 0.0
+    at_ops: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+        object.__setattr__(self, "at_ops", tuple(self.at_ops))
+
+
+@dataclass(frozen=True)
+class SlowFsync:
+    """Chaotic IO: fsync takes ``delay_s`` of real time.
+
+    Models the overloaded spinning disk under the 2006 crawler; used to
+    verify durable appends slow down but never reorder or tear.
+    """
+
+    probability: float = 1.0
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
+
+
 TransportClause = Union[LossBurst, LatencyStorm, Partition, PeerCrash]
 FetchClause = Union[SlowServe, Tamper]
+IOClause = Union[TornWrite, DiskFull, SlowFsync]
 
 #: R1's graded severity scale, mildest first ("off" = no plan at all).
 SEVERITIES = ("off", "mild", "moderate", "severe", "extreme")
@@ -184,6 +293,10 @@ class FaultPlan:
 
     clauses: Tuple[object, ...] = ()
     worker_crash: Optional[WorkerCrash] = None
+    worker_hang: Optional[WorkerHang] = None
+    worker_stall: Optional[WorkerStall] = None
+    #: chaotic-IO clauses enforced against artifact writes on the host
+    io_clauses: Tuple[object, ...] = ()
 
     def __post_init__(self) -> None:
         known = (LossBurst, LatencyStorm, Partition, PeerCrash,
@@ -192,9 +305,16 @@ class FaultPlan:
         for clause in self.clauses:
             if not isinstance(clause, known):
                 raise TypeError(f"unknown fault clause {clause!r}")
+        known_io = (TornWrite, DiskFull, SlowFsync)
+        object.__setattr__(self, "io_clauses", tuple(self.io_clauses))
+        for clause in self.io_clauses:
+            if not isinstance(clause, known_io):
+                raise TypeError(f"unknown IO fault clause {clause!r}")
 
     def __bool__(self) -> bool:
-        return bool(self.clauses) or self.worker_crash is not None
+        return bool(self.clauses) or bool(self.io_clauses) or any(
+            clause is not None for clause in
+            (self.worker_crash, self.worker_hang, self.worker_stall))
 
     @property
     def transport_clauses(self) -> Tuple[object, ...]:
@@ -212,19 +332,24 @@ class FaultPlan:
     def scientific_key(self) -> str:
         """Stable identity of the *simulated* faults (checkpoint key).
 
-        Deliberately excludes ``worker_crash``: killing a worker never
-        changes a seed's measured results, so a checkpoint written
-        under pipeline chaos stays valid when resuming without it.
+        Deliberately excludes every host-level clause (``worker_crash``,
+        ``worker_hang``, ``worker_stall``, ``io_clauses``): killing,
+        wedging, or starving the *host* never changes a seed's measured
+        results, so a checkpoint written under pipeline chaos stays
+        valid when resuming without it -- and vice versa.
         """
         return repr(self.clauses)
 
     def describe(self) -> str:
         """One line per clause, for chaos-run banners."""
-        if not self.clauses and self.worker_crash is None:
+        host = [clause for clause in
+                (self.worker_crash, self.worker_hang, self.worker_stall)
+                if clause is not None]
+        if not self.clauses and not host and not self.io_clauses:
             return "(empty plan)"
         lines = [repr(clause) for clause in self.clauses]
-        if self.worker_crash is not None:
-            lines.append(repr(self.worker_crash))
+        lines.extend(repr(clause) for clause in host)
+        lines.extend(repr(clause) for clause in self.io_clauses)
         return "\n".join(lines)
 
     @classmethod

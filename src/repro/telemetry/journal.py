@@ -6,9 +6,13 @@ property.  Installed on a simulator it appends one JSON line per
 virtual ``interval_s`` -- virtual time, wall time, events processed,
 events/sec since the previous snapshot, plus whatever ``probes`` the
 campaign wires in (responses collected, downloads in flight, scan
-cache hit rate, top malware so far) -- flushed after every write so
-``tail -f`` on the file shows live progress, and the finished file is
-a machine-readable record of how the run unfolded.
+cache hit rate, top malware so far) -- flushed and fsynced after every
+write (a :class:`~repro.resilience.store.DurableAppender`) so ``tail
+-f`` on the file shows live progress, a SIGKILL costs at most the
+snapshot being written, and the finished file is a machine-readable
+record of how the run unfolded.  Rows stay bare JSON objects (not
+CRC32 frames): the dashboard's journal tailer reads fields at the top
+level, and a torn final line is already tolerated on every read path.
 
 Probe callables must never kill a campaign: a raising probe records
 ``None`` for its field and bumps the journal's error counter instead.
@@ -23,11 +27,11 @@ events, so the cadence is part of a run's event digest).
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional, TextIO
+from typing import Callable, Dict, Optional
 
+from ..resilience import DurableAppender
 from .registry import MetricRegistry
 
 __all__ = ["RunJournal"]
@@ -56,7 +60,7 @@ class RunJournal:
         self.probes: Dict[str, Probe] = dict(probes or {})
         self.snapshots_written = 0
         self.probe_errors = 0
-        self._handle: Optional[TextIO] = None
+        self._appender: Optional[DurableAppender] = None
         self._started_wall: Optional[float] = None
         self._last_wall: Optional[float] = None
         self._last_events = 0
@@ -101,9 +105,15 @@ class RunJournal:
                   label="journal", until=until)
 
     def _open(self) -> None:
-        if self._handle is None:
+        if self._appender is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w", encoding="utf-8")
+            # a fresh journal per run (the appender itself only ever
+            # appends, so a re-run must clear the previous run's rows)
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            self._appender = DurableAppender(self.path, framed=False)
             self._started_wall = time.perf_counter()
             self._last_wall = self._started_wall
 
@@ -139,9 +149,8 @@ class RunJournal:
             except Exception:  # a broken probe must not kill the run
                 row[name] = None
                 self.probe_errors += 1
-        assert self._handle is not None
-        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
-        self._handle.flush()
+        assert self._appender is not None
+        self._appender.append(row)
         self.snapshots_written += 1
         if self._snapshot_counter is not None:
             self._snapshot_counter.inc()
@@ -153,6 +162,6 @@ class RunJournal:
         """Write a final snapshot (when ``sim`` given) and close the file."""
         if sim is not None:
             self.snapshot(sim, final=True)
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None

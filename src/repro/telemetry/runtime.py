@@ -74,11 +74,11 @@ class CampaignTelemetry:
     def write_outputs(self, directory: Path, name: str) -> Dict[str, Path]:
         """Dump metrics + spans + trace under ``directory``; returns the paths."""
         from .tracer import write_trace
+        from ..resilience import atomic_write_text
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         metrics_path = directory / f"{name}_metrics.prom"
-        metrics_path.write_text(self.registry.render_prometheus(),
-                                encoding="utf-8")
+        atomic_write_text(metrics_path, self.registry.render_prometheus())
         spans_path = directory / f"{name}_spans.jsonl"
         self.tracer.to_jsonl(spans_path)
         trace_path = directory / f"{name}_trace.json"

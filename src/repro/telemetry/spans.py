@@ -167,10 +167,14 @@ class SpanTracer:
 
     # -- export -------------------------------------------------------------
     def to_jsonl(self, path: Path) -> int:
-        """Write one JSON object per span; returns the span count."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            for span in self._spans:
-                handle.write(json.dumps(span.to_dict(), sort_keys=True)
-                             + "\n")
+        """Write one JSON object per span; returns the span count.
+
+        Atomic (tmp + ``os.replace``): span exports happen once at the
+        end of a run, so whole-file replacement is the right crash
+        discipline -- a reader never sees half an export.
+        """
+        from ..resilience import atomic_write_text
+        text = "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                       for span in self._spans)
+        atomic_write_text(Path(path), text)
         return len(self._spans)

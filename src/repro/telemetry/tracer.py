@@ -167,10 +167,10 @@ def write_trace(tracer: SpanTracer, path: Path, sample_every: int = 1,
     """
     trace = build_trace(tracer, sample_every=sample_every, pid=pid,
                         process_name=process_name)
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(trace, handle, sort_keys=True, indent=None,
-                  separators=(",", ":"))
-        handle.write("\n")
+    # atomic: an interrupted export leaves the previous trace intact
+    # instead of a torn JSON file no viewer can load
+    from ..resilience import atomic_write_text
+    atomic_write_text(Path(path),
+                      json.dumps(trace, sort_keys=True, indent=None,
+                                 separators=(",", ":")) + "\n")
     return trace["otherData"]

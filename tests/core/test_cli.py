@@ -209,3 +209,72 @@ class TestHotspots:
         code = main(["hotspots", "--snapshot", str(path)])
         assert code == 0
         assert "scan" in capsys.readouterr().out
+
+
+class TestDoctor:
+    @staticmethod
+    def make_torn_checkpoint(path):
+        from repro.resilience import frame_line
+        header = frame_line({"kind": "header", "fingerprint": "a" * 64})
+        seed = frame_line({"kind": "seed", "seed": 1, "metrics": {"x": 1.0}})
+        path.write_text(header + "\n" + seed + "\n" + seed[:11])
+        return path
+
+    def test_parser(self):
+        args = build_parser().parse_args(["doctor", "out/", "--repair"])
+        assert [p.name for p in args.paths] == ["out"] and args.repair
+
+    def test_no_artifacts_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["doctor", str(empty)]) == 2
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_missing_explicit_path_is_damage(self, tmp_path):
+        assert main(["doctor", str(tmp_path / "gone.jsonl")]) == 1
+
+    def test_healthy_artifacts_exit_0(self, tmp_path, capsys):
+        (tmp_path / "ok.json").write_text("{}")
+        assert main(["doctor", str(tmp_path)]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_damage_without_repair_exits_1(self, tmp_path, capsys):
+        self.make_torn_checkpoint(tmp_path / "ckpt.jsonl")
+        assert main(["doctor", str(tmp_path)]) == 1
+        output = capsys.readouterr().out
+        assert "torn" in output and "--repair" in output
+
+    def test_repair_then_healthy(self, tmp_path, capsys):
+        journal = self.make_torn_checkpoint(tmp_path / "ckpt.jsonl")
+        assert main(["doctor", str(tmp_path), "--repair"]) == 0
+        capsys.readouterr()
+        # second pass sees the truncated file as healthy
+        assert main(["doctor", str(journal)]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+
+class TestSupervisedReplicate:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["replicate"])
+        assert not args.supervise
+        assert args.deadline == 300.0
+        assert args.stall_timeout == 60.0
+        assert args.hang_seeds is None
+
+    def test_hang_seeds_require_supervision(self, capsys):
+        code = main(["replicate", "--seeds", "1", "--hang-seeds", "1"])
+        assert code == 2
+        assert "--supervise" in capsys.readouterr().err
+
+    def test_supervised_run_matches_plain(self, capsys):
+        base = ["replicate", "--network", "limewire", "--seeds", "1",
+                "--days", "0.05", "--workers", "1"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--supervise", "--stall-timeout", "10"]) == 0
+        supervised = capsys.readouterr().out
+        # identical science: every metric line agrees bit-for-bit
+        metrics = [line for line in plain.splitlines() if "%" in line]
+        assert metrics
+        assert metrics == [line for line in supervised.splitlines()
+                           if "%" in line]

@@ -225,3 +225,42 @@ class TestRealTelemetryPlane:
             module = parse_module(root / rel, rel,
                                   rel[4:-3].replace("/", "."))
             assert check_concurrency(module) == [], rel
+
+
+class TestResilienceSupervisor:
+    def test_supervisor_module_is_clean(self):
+        # the watchdog pool runs a real heartbeat thread next to the
+        # parent poll loop; the CONC pass must walk it and find nothing
+        from pathlib import Path
+
+        from repro.devtools.detlint import check_concurrency, parse_module
+        root = Path(__file__).resolve().parents[2]
+        rel = "src/repro/resilience/supervisor.py"
+        module = parse_module(root / rel, rel,
+                              rel[4:-3].replace("/", "."))
+        assert check_concurrency(module) == []
+
+    def test_unlocked_beat_state_would_be_flagged(self):
+        # coverage is not vacuous: the supervisor's shape -- a beat
+        # thread sharing state with the poll loop -- trips CONC001 the
+        # moment the shared field loses its synchronization
+        findings = lint("""
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self.last_beat = 0.0
+                    self._thread = None
+
+                def start(self):
+                    self._thread = threading.Thread(target=self._beat)
+                    self._thread.start()
+
+                def _beat(self):
+                    while True:
+                        self.last_beat += 1.0
+
+                def watchdog(self):
+                    return self.last_beat
+        """)
+        assert "CONC001" in codes(findings)

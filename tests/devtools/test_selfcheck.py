@@ -100,7 +100,12 @@ class TestRepoIsClean:
         assert all(code in BASELINE_ALLOWED_CODES for code, _ in entries)
         assert "DET001" not in BASELINE_ALLOWED_CODES
         assert "LAY001" not in BASELINE_ALLOWED_CODES
+        # every entry is observability- or supervision-side wall clock:
+        # telemetry exporters, the kernel's sampled-callback pair, or
+        # the resilience supervisor's watchdogs -- never simulation
+        # state
         assert all("telemetry" in path or "kernel" in path
+                   or "resilience" in path
                    for _, path in entries)
 
     def test_baseline_rejects_unannotated_entry(self, tmp_path):
