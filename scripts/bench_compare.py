@@ -52,6 +52,10 @@ DIRECTIONS = {
     "observability_off_s": False,
     "observability_on_s": False,
     "observability_overhead_pct": False,
+    "sharded_plain_s": False,
+    "sharded_single_s": False,
+    "sharded_overhead_pct": False,
+    "sharded_two_shard_s": False,
     "replication_serial_s": False,
     "replication_parallel_s": False,
     "replication_speedup": True,
@@ -69,14 +73,41 @@ def load(path: Path) -> dict:
     return payload
 
 
+class NoPriorBaseline(Exception):
+    """There is no earlier benchmark run to compare against."""
+
+
+def _available(directory: Path):
+    return sorted(directory.glob("BENCH_*.json"),
+                  key=lambda p: p.stat().st_mtime)
+
+
 def find_default_pair(directory: Path):
-    candidates = sorted(directory.glob("BENCH_*.json"),
-                        key=lambda p: p.stat().st_mtime)
+    candidates = _available(directory)
     if len(candidates) < 2:
-        raise FileNotFoundError(
-            f"need two BENCH_*.json files under {directory}, "
-            f"found {len(candidates)}")
+        have = (f"only {candidates[0].name}" if candidates
+                else "no BENCH_*.json files")
+        raise NoPriorBaseline(
+            f"no prior baseline under {directory} ({have}); run "
+            f"benchmarks/baseline.py on the comparison rev first, or "
+            f"pass two files explicitly")
     return candidates[-2], candidates[-1]
+
+
+def require_file(path: Path, directory: Path) -> Path:
+    """A named benchmark file, or a clear no-prior-baseline error.
+
+    The benchmark history legitimately has gaps (a rev whose BENCH file
+    was never committed); pointing at one must explain itself rather
+    than surface a bare ENOENT.
+    """
+    if path.exists():
+        return path
+    names = ", ".join(p.name for p in _available(directory)) or "none"
+    raise NoPriorBaseline(
+        f"no prior baseline at {path}: that rev was never benchmarked "
+        f"(or its BENCH file was not committed).  Available under "
+        f"{directory}: {names}")
 
 
 def compare(baseline: dict, current: dict, threshold: float):
@@ -143,17 +174,18 @@ def main(argv=None) -> int:
                              "flag to combine)")
     args = parser.parse_args(argv)
 
-    if args.baseline and args.current:
-        base_path, cur_path = args.baseline, args.current
-    elif args.baseline or args.current:
-        parser.error("give both files or neither")
-        return 2
-    else:
-        try:
-            base_path, cur_path = find_default_pair(args.dir)
-        except FileNotFoundError as error:
-            print(f"error: {error}", file=sys.stderr)
+    try:
+        if args.baseline and args.current:
+            base_path = require_file(args.baseline, args.dir)
+            cur_path = require_file(args.current, args.dir)
+        elif args.baseline or args.current:
+            parser.error("give both files or neither")
             return 2
+        else:
+            base_path, cur_path = find_default_pair(args.dir)
+    except NoPriorBaseline as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     try:
         baseline, current = load(base_path), load(cur_path)

@@ -1,0 +1,149 @@
+"""Cross-shard fault clauses: a Partition straddling a shard boundary.
+
+The partition census and split are *replicated* draws -- every shard
+samples the same sorted endpoint census from the same ``faults:
+partition`` stream -- so a clause whose isolated set straddles the shard
+boundary must drop exactly the envelopes the single-process twin drops,
+no matter which shard an envelope's delivery lands on.  This test builds
+a scripted two-shard scenario (constant latency so delivery times carry
+no stream dependence, zero loss so the envelope sets are exact) and
+compares envelope-by-envelope against the plain twin.
+"""
+
+from repro.faults import FaultInjector, FaultPlan, Partition
+from repro.simnet.kernel import Simulator
+from repro.simnet.shard import (ShardPlan, ShardedTransport, WindowDriver,
+                                window_run_target)
+from repro.simnet.transport import LatencyModel, Transport
+
+SEED = 1  # chosen so the sampled isolated pair straddles the boundary
+ENDPOINTS = ("u0", "l0", "u1", "l1")
+PLAN = ShardPlan.from_groups(2, [["u0", "l0"], ["u1", "l1"]])
+#: constant propagation delay: uniform(a, a) == a whatever the stream
+CONST_LATENCY = LatencyModel(base_min_s=0.05, base_max_s=0.05)
+CLAUSE = Partition(start_s=10.0, end_s=40.0, fraction=0.5)
+#: send rounds before, inside (twice), and after the partition window
+SEND_TIMES = (5.0, 15.0, 25.0, 45.0)
+FINAL = 60.0
+
+
+def attach_all(sim, transport):
+    """Attach every endpoint; deliveries record (now, src, dst, payload)."""
+    inboxes = {}
+    for endpoint_id in ENDPOINTS:
+        inbox = inboxes.setdefault(endpoint_id, [])
+        transport.attach(
+            endpoint_id,
+            lambda env, inbox=inbox, sim=sim: inbox.append(
+                (sim.now, env.src, env.dst, env.payload)))
+    return inboxes
+
+
+def schedule_sends(sim, transport):
+    """Every ordered pair sends in every round (replicated everywhere)."""
+    for at in SEND_TIMES:
+        for src in ENDPOINTS:
+            for dst in ENDPOINTS:
+                if src == dst:
+                    continue
+                payload = f"{src}->{dst}@{at:g}".encode("ascii")
+                sim.at(at,
+                       lambda src=src, dst=dst, payload=payload:
+                       transport.send(src, dst, payload),
+                       label="send")
+
+
+def arm_partition(sim, transport):
+    injector = FaultInjector(sim, transport, FaultPlan(clauses=(CLAUSE,)),
+                             protect=())
+    injector.install()
+    return injector
+
+
+class _Handle:
+    """Minimal WindowDriver shard handle over one (sim, transport)."""
+
+    def __init__(self, sim, transport):
+        self.sim = sim
+        self.transport = transport
+
+    def peek(self):
+        return self.sim.queue.peek_time()
+
+    def advance(self, target, inclusive, batch):
+        self.transport.ingest(batch)
+        self.sim.run_until(target if inclusive
+                           else window_run_target(target))
+        return self.transport.take_outbox(), self.peek()
+
+
+def run_sharded():
+    handles, injectors, inboxes = [], [], []
+    for shard_id in range(2):
+        sim = Simulator(seed=SEED)
+        transport = ShardedTransport(sim, latency=CONST_LATENCY)
+        inboxes.append(attach_all(sim, transport))
+        injectors.append(arm_partition(sim, transport))
+        schedule_sends(sim, transport)
+        transport.bind(PLAN, shard_id)
+        handles.append(_Handle(sim, transport))
+    driver = WindowDriver(handles, PLAN, CONST_LATENCY.base_min_s)
+    driver.run_segment(FINAL)
+    # an endpoint's deliveries land on its owner shard; merge by owner
+    merged = {endpoint_id: inboxes[PLAN.owner_of(endpoint_id)][endpoint_id]
+              for endpoint_id in ENDPOINTS}
+    return merged, injectors, driver
+
+
+def run_twin():
+    sim = Simulator(seed=SEED)
+    transport = Transport(sim, latency=CONST_LATENCY)
+    inboxes = attach_all(sim, transport)
+    injector = arm_partition(sim, transport)
+    schedule_sends(sim, transport)
+    sim.run_until(FINAL)
+    return inboxes, injector
+
+
+def isolated_set():
+    """The clause's isolated endpoints, replayed from a fresh stream."""
+    sim = Simulator(seed=SEED)
+    return set(sim.stream("faults:partition").sample(sorted(ENDPOINTS), 2))
+
+
+class TestCrossShardPartition:
+    def test_clause_straddles_the_shard_boundary(self):
+        # the scenario only proves something if the isolated set spans
+        # both shards -- guaranteed by the chosen seed, asserted here
+        shards = {PLAN.owner_of(endpoint_id)
+                  for endpoint_id in isolated_set()}
+        assert shards == {0, 1}
+
+    def test_drops_exactly_the_twin_envelopes(self):
+        sharded, injectors, driver = run_sharded()
+        twin, twin_injector = run_twin()
+        assert driver.windows > 0  # the window loop actually engaged
+        for endpoint_id in ENDPOINTS:
+            assert sorted(sharded[endpoint_id]) == sorted(twin[endpoint_id])
+        # something was delivered and something was partition-dropped
+        assert sum(len(box) for box in twin.values()) > 0
+        twin_drops = twin_injector.injected.get("partition-drop", 0)
+        assert twin_drops > 0
+        shard_drops = sum(
+            injector.injected.get("partition-drop", 0)
+            for injector in injectors)
+        assert shard_drops == twin_drops
+
+    def test_partition_window_respects_boundaries(self):
+        sharded, _injectors, _driver = run_sharded()
+        isolated = isolated_set()
+        crossing_deliveries = [
+            at
+            for box in sharded.values()
+            for at, src, dst, _payload in box
+            if (src in isolated) != (dst in isolated)]
+        # envelopes crossing the partition survive only when delivered
+        # outside the clause window (interception happens at delivery)
+        assert crossing_deliveries  # the pre/post rounds got through
+        for at in crossing_deliveries:
+            assert at < CLAUSE.start_s or at > CLAUSE.end_s

@@ -1,0 +1,176 @@
+"""Determinism contract of the sharded campaign kernel.
+
+The three load-bearing claims, each proven directly on both networks:
+
+* ``shards=1`` is bit-identical to the plain kernel -- event digest,
+  store sha256 and headline metrics, with telemetry on and off, and
+  also when forced through the full conservative-window loop;
+* N-shard stores are invariant in N (N=2 == N=3 for a fixed seed);
+* the process executor computes exactly what the serial twin does.
+
+Campaigns here are deliberately tiny (~half a virtual hour): every
+property is bitwise, so scale adds runtime without adding evidence.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.experiments import replicate_one
+from repro.core.measure.campaign import (CampaignConfig, default_profile,
+                                         run_limewire_campaign,
+                                         run_openft_campaign)
+from repro.core.sharded import (ShardPlan, combine_shard_digests,
+                                plan_for_world, run_sharded_campaign)
+from repro.devtools.sanitizer import EventDigest
+from repro.simnet.shard import window_run_target
+from repro.telemetry.runtime import CampaignTelemetry
+
+SEED = 3
+PLAIN_RUNNERS = {"limewire": run_limewire_campaign,
+                 "openft": run_openft_campaign}
+
+
+def tiny_config(**overrides) -> CampaignConfig:
+    base = dict(seed=SEED, duration_days=0.02, drain_s=300.0)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def plain_campaign(network, with_digest=False):
+    telemetry = None
+    digest = None
+    if with_digest:
+        telemetry = CampaignTelemetry()
+        digest = EventDigest()
+        telemetry.kernel.on_event = digest.on_event
+    result = PLAIN_RUNNERS[network](tiny_config(),
+                                    profile=default_profile(network, 0.3),
+                                    telemetry=telemetry)
+    return result, digest
+
+
+def sharded_campaign(network, shards=1, executor="serial", **kwargs):
+    return run_sharded_campaign(
+        network, tiny_config(shards=shards),
+        profile=default_profile(network, 0.3), executor=executor, **kwargs)
+
+
+@pytest.mark.parametrize("network", ("limewire", "openft"))
+class TestSingleShardBitIdentity:
+    def test_store_and_metrics_match_plain(self, network):
+        plain, _ = plain_campaign(network)
+        single = sharded_campaign(network, shards=1)
+        assert single.store.content_digest() == plain.store.content_digest()
+        assert len(single.store) == len(plain.store)
+        assert single.shards.nshards == 1
+        assert single.shards.windows == 0  # degenerate: no window loop
+
+    def test_event_digest_matches_plain(self, network):
+        plain, digest = plain_campaign(network, with_digest=True)
+        telemetry = CampaignTelemetry()
+        single = sharded_campaign(network, shards=1, telemetry=telemetry,
+                                  collect_digest=True)
+        assert single.shards.digest == digest.hexdigest()
+        assert single.store.content_digest() == plain.store.content_digest()
+
+    def test_forced_window_loop_is_still_identical(self, network):
+        # force_windows runs the real conservative-window machinery with
+        # one shard: proves the window algebra itself changes nothing
+        plain, digest = plain_campaign(network, with_digest=True)
+        windowed = sharded_campaign(network, shards=1,
+                                    telemetry=CampaignTelemetry(),
+                                    collect_digest=True, force_windows=True)
+        assert windowed.shards.windows > 0
+        assert windowed.shards.digest == digest.hexdigest()
+        assert (windowed.store.content_digest()
+                == plain.store.content_digest())
+
+
+@pytest.mark.parametrize("network", ("limewire", "openft"))
+class TestShardCountInvariance:
+    def test_store_digest_invariant_in_n(self, network):
+        two = sharded_campaign(network, shards=2)
+        three = sharded_campaign(network, shards=3)
+        assert two.store.content_digest() == three.store.content_digest()
+        assert len(two.store) > 0
+
+    def test_same_n_replays_identically(self, network):
+        first = sharded_campaign(network, shards=2, telemetry=None)
+        second = sharded_campaign(network, shards=2,
+                                  telemetry=CampaignTelemetry())
+        # telemetry is read-only for the sharded kernel too
+        assert (first.store.content_digest()
+                == second.store.content_digest())
+
+
+class TestProcessExecutor:
+    def test_process_matches_serial(self):
+        serial = sharded_campaign("limewire", shards=2, executor="serial")
+        process = sharded_campaign("limewire", shards=2, executor="process")
+        assert process.shards.executor == "process"
+        assert (process.store.content_digest()
+                == serial.store.content_digest())
+        assert process.shards.windows == serial.shards.windows
+
+    def test_cross_shard_tallies_are_symmetric(self):
+        result = sharded_campaign("limewire", shards=2, executor="process")
+        sent = sum(entry["cross_sent"] for entry in result.shards.shards)
+        received = sum(entry["cross_received"]
+                       for entry in result.shards.shards)
+        assert sent == received > 0
+
+
+class TestCampaignDispatch:
+    def test_config_shards_routes_through_sharded_driver(self):
+        result = run_limewire_campaign(
+            tiny_config(shards=2), profile=default_profile("limewire", 0.3),
+            shard_executor="serial")
+        direct = sharded_campaign("limewire", shards=2)
+        assert result.shards is not None
+        assert result.shards.nshards == 2
+        assert result.store.content_digest() == direct.store.content_digest()
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(shards=0)
+
+    def test_replicate_one_reports_shard_fingerprints(self):
+        out = replicate_one("limewire", tiny_config(shards=2),
+                            default_profile("limewire", 0.3), SEED,
+                            shard_executor="serial")
+        metrics, snapshot, shards = out
+        assert snapshot is None  # no telemetry_dir
+        assert [entry["shard"] for entry in shards] == [0, 1]
+        assert all(len(entry["fingerprint"]) == 16 for entry in shards)
+        assert set(metrics) == {"prevalence", "top3_share", "private_share"}
+
+
+class TestShardPrimitives:
+    def test_plan_round_robins_groups(self):
+        plan = ShardPlan.from_groups(2, [["u0", "l0"], ["u1"], ["u2", "l2"]])
+        assert plan.owner_of("u0") == plan.owner_of("l0") == 0
+        assert plan.owner_of("u1") == 1
+        assert plan.owner_of("u2") == plan.owner_of("l2") == 0
+        assert plan.owner_of("crawler") == 0  # unmapped -> default shard
+
+    def test_window_target_is_end_exclusive(self):
+        assert window_run_target(10.0) < 10.0
+
+    def test_combine_single_digest_passes_through(self):
+        assert combine_shard_digests(["abc"]) == "abc"
+        assert combine_shard_digests(["abc", "def"]) not in ("abc", "def")
+        assert combine_shard_digests([None, "abc"]) is None
+
+    def test_plan_for_world_keeps_leaves_with_their_ultrapeer(self):
+        plain, _ = plain_campaign("limewire")
+        world = plain.world
+        plan = plan_for_world("limewire", world, 2)
+        hubs = {hub.endpoint_id: plan.owner_of(hub.endpoint_id)
+                for hub in world.network.ultrapeers}
+        assert set(hubs.values()) == {0, 1}  # both shards populated
+        for leaf in world.network.leaves:
+            shields = [pid for pid in leaf.peer_ids if pid in hubs]
+            if shields:
+                assert (plan.owner_of(leaf.endpoint_id)
+                        == hubs[shields[0]])
